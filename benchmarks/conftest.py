@@ -1,0 +1,28 @@
+"""Benchmark-suite configuration.
+
+Every ``bench_figN.py`` regenerates one figure of the paper in quick
+mode (set ``REPRO_FULL=1`` to run the paper's full grids), prints the
+rendered figure to stdout, and asserts the qualitative shape the paper
+reports.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import os
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "figure: regenerates a paper figure")
+
+
+@pytest.fixture(scope="session")
+def quick_mode() -> bool:
+    """False when REPRO_FULL=1 (full paper grids)."""
+    return os.environ.get("REPRO_FULL", "0") != "1"
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1)

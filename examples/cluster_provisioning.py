@@ -1,0 +1,73 @@
+"""Multi-node cluster: routing, reservation splitting, and rebalancing.
+
+Two storage nodes host two tenants.  The cluster splits each tenant's
+global reservation into per-node local reservations, routes requests by
+partition, and — when one node's reservations outgrow its provisionable
+capacity — redistributes local reservations into the other node's
+headroom, the §2.1 higher-level response to Libra's overflow signal.
+
+Run: python examples/cluster_provisioning.py
+"""
+
+import random
+
+from repro import Reservation, Simulator, StorageCluster
+
+KIB = 1024
+
+
+def main() -> None:
+    sim = Simulator()
+    cluster = StorageCluster(sim, n_nodes=2, partitions_per_tenant=8)
+    cluster.add_tenant("web", Reservation(gets=6000.0, puts=2000.0))
+    cluster.add_tenant("batch", Reservation(gets=500.0, puts=3000.0))
+
+    print("=== initial reservation split (normalized units/s) ===")
+    for name, node in cluster.nodes.items():
+        for tenant in ("web", "batch"):
+            local = node.policy.reservation(tenant)
+            print(f"  {name} {tenant:>6}: GET {local.gets:.0f}, PUT {local.puts:.0f}")
+
+    rng = random.Random(42)
+
+    def client(tenant, get_fraction, size, n_keys):
+        while sim.now < 15.0:
+            key = rng.randrange(n_keys)
+            if rng.random() < get_fraction:
+                yield from cluster.get(tenant, key)
+            else:
+                yield from cluster.put(tenant, key, size)
+
+    for _ in range(4):
+        sim.process(client("web", 0.8, 4 * KIB, 4000))
+        sim.process(client("batch", 0.1, 32 * KIB, 500))
+
+    sim.run(until=15.0)
+
+    print("\n=== after 15s of load ===")
+    for tenant in ("web", "batch"):
+        total = cluster.total_stats(tenant)
+        print(f"  {tenant:>6}: {total.gets} GETs + {total.puts} PUTs system-wide, "
+              f"split " + " / ".join(
+                  f"{node.stats(tenant).gets + node.stats(tenant).puts}@{name}"
+                  for name, node in cluster.nodes.items()))
+    print(f"  overflow notifications collected: {len(cluster.overflows)}")
+
+    # Simulate a hotspot: pile web's reservation onto node0 and let the
+    # cluster-level policy redistribute it.
+    node0, node1 = cluster.nodes["node0"], cluster.nodes["node1"]
+    big = Reservation(gets=20_000.0, puts=5_000.0)
+    node0.set_reservation("web", big)
+    print("\n=== hotspot: web reserves 25k units/s on node0 alone ===")
+    print(f"  node0 demand estimate: {node0.policy.total_demand:.0f} VOP/s "
+          f"(capacity {node0.capacity_vops:.0f})")
+    moves = cluster.redistribute_reservations()
+    print(f"  redistribute_reservations() -> {moves} move(s)")
+    for name, node in cluster.nodes.items():
+        local = node.policy.reservation("web")
+        print(f"  {name} web: GET {local.gets:.0f}, PUT {local.puts:.0f} "
+              f"(node demand {node.policy.total_demand:.0f} VOP/s)")
+
+
+if __name__ == "__main__":
+    main()

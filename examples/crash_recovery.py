@@ -1,0 +1,71 @@
+"""Durability: group-committed WAL and crash recovery.
+
+Writes a burst of objects, crashes the engine (dropping both in-memory
+tables), and recovers by scanning the write-ahead log — real sequential
+read IO through Libra.  Everything durable comes back; the group-commit
+batching that makes small synchronous PUTs affordable is printed too.
+
+Run: python examples/crash_recovery.py
+"""
+
+import random
+
+from repro import Reservation, Simulator, StorageNode
+
+KIB = 1024
+
+
+def main() -> None:
+    sim = Simulator()
+    node = StorageNode(sim)
+    node.add_tenant("acct", Reservation(gets=1000, puts=1000))
+    engine = node.engines["acct"]
+    rng = random.Random(3)
+    written = {}
+
+    def writer(base):
+        for i in range(40):
+            key = base + i
+            size = rng.choice([1, 2, 4]) * KIB
+            written[key] = size
+            yield from node.put("acct", key, size)
+
+    procs = [sim.process(writer(base * 100)) for base in range(4)]
+    sim.run(until=5.0)
+    assert all(p.triggered for p in procs)
+
+    wal = engine._wal
+    print(f"wrote {len(written)} objects; live WAL holds "
+          f"{wal.records} records in {wal.batches} group commits "
+          f"({wal.records / max(wal.batches, 1):.1f} records/commit)")
+
+    def crash_flow():
+        replayed = yield from engine.crash_and_recover()
+        print(f"crash! recovered {replayed} records from the WAL "
+              f"({engine.stats.recoveries} recovery so far)")
+        # Verify every durable object is still readable.
+        missing = 0
+        for key, size in written.items():
+            result = yield from node.get("acct", key)
+            if result != size:
+                missing += 1
+        print(f"post-recovery verification: {len(written) - missing}/"
+              f"{len(written)} objects intact")
+
+    proc = sim.process(crash_flow())
+    sim.run(until=60.0)
+    assert proc.triggered and proc.ok, getattr(proc, "value", None)
+
+    # Range scan over a recovered region.
+    def scan_flow():
+        results = yield from node.scan("acct", 0, 50)
+        print(f"scan [0, 50]: {len(results)} live keys, "
+              f"{sum(s for _k, s in results) // KIB} KiB total")
+
+    proc = sim.process(scan_flow())
+    sim.run(until=70.0)
+    assert proc.triggered and proc.ok
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Multi-tenant provisioning: insulation plus work conservation.
+
+Three tenants share one SSD-backed node:
+
+- ``gold``   reserves a large GET rate (latency-critical read service);
+- ``silver`` reserves a moderate mixed rate;
+- ``scav``   reserves nothing (best-effort batch scavenger) and simply
+  soaks up whatever capacity the others leave unused.
+
+The script shows the two Libra properties together: the paying tenants
+hit their reservations even while the scavenger is hammering the
+device, and when ``gold`` goes idle halfway through, its capacity is
+immediately reused rather than left fallow.
+
+Run: python examples/multi_tenant_provisioning.py
+"""
+
+import random
+
+from repro import Reservation, Simulator, StorageNode
+
+KIB = 1024
+
+
+def closed_loop(sim, node, tenant, get_fraction, size, n_keys, stop_at, rng):
+    def worker():
+        while sim.now < stop_at:
+            key = rng.randrange(n_keys)
+            if rng.random() < get_fraction:
+                yield from node.get(tenant, key)
+            else:
+                yield from node.put(tenant, key, size)
+    return worker
+
+
+def window_rates(node, tenant, t0, t1, snapshots):
+    before, after = snapshots[(tenant, t0)], snapshots[(tenant, t1)]
+    delta = after.delta(before)
+    return (delta.get_units + delta.put_units) / (t1 - t0)
+
+
+def main() -> None:
+    sim = Simulator()
+    node = StorageNode(sim)
+    node.add_tenant("gold", Reservation(gets=4000.0, puts=500.0))
+    node.add_tenant("silver", Reservation(gets=1500.0, puts=1500.0))
+    node.add_tenant("scav", Reservation())  # best effort
+
+    rng = random.Random(7)
+    for _ in range(4):
+        sim.process(closed_loop(sim, node, "gold", 0.9, 4 * KIB, 3000, 20.0, rng)())
+        sim.process(closed_loop(sim, node, "silver", 0.5, 8 * KIB, 1500, 40.0, rng)())
+        sim.process(closed_loop(sim, node, "scav", 0.2, 32 * KIB, 500, 40.0, rng)())
+
+    snapshots = {}
+
+    def snapshot_all(t):
+        for tenant in ("gold", "silver", "scav"):
+            snapshots[(tenant, t)] = node.stats(tenant).snapshot()
+
+    snapshot_all(0.0)
+    sim.run(until=10.0)
+    snapshot_all(10.0)
+    sim.run(until=20.0)  # gold's workers stop here
+    snapshot_all(20.0)
+    sim.run(until=40.0)
+    snapshot_all(40.0)
+
+    print("=== normalized request units/s (1 KB) ===")
+    print(f"{'tenant':>8} {'reserved':>9} {'t=10-20':>9} {'t=20-40 (gold idle)':>20}")
+    for tenant in ("gold", "silver", "scav"):
+        reservation = node.tenants[tenant].reservation
+        reserved = reservation.gets + reservation.puts
+        busy = window_rates(node, tenant, 10.0, 20.0, snapshots)
+        late = window_rates(node, tenant, 20.0, 40.0, snapshots)
+        print(f"{tenant:>8} {reserved:>9.0f} {busy:>9.0f} {late:>20.0f}")
+
+    scav_busy = window_rates(node, "scav", 10.0, 20.0, snapshots)
+    scav_late = window_rates(node, "scav", 20.0, 40.0, snapshots)
+    print()
+    print(f"work conservation: the scavenger's throughput grew "
+          f"{scav_late / max(scav_busy, 1e-9):.1f}x once gold went idle, "
+          f"with zero reserved VOPs of its own.")
+
+
+if __name__ == "__main__":
+    main()

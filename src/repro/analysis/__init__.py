@@ -1,0 +1,20 @@
+"""Metrics, time series, and text reports for the evaluation."""
+
+from .metrics import cdf_points, mmr, normalized_series, percentile, throughput_ratio
+from .report import format_cdf, format_heatmap, format_series, format_table, kops
+from .timeseries import Series, SeriesSet
+
+__all__ = [
+    "Series",
+    "SeriesSet",
+    "cdf_points",
+    "format_cdf",
+    "format_heatmap",
+    "format_series",
+    "format_table",
+    "kops",
+    "mmr",
+    "normalized_series",
+    "percentile",
+    "throughput_ratio",
+]

@@ -1,0 +1,68 @@
+"""Windowed time series for the dynamic experiments (Figs 11-12)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["Series", "SeriesSet"]
+
+
+@dataclass
+class Series:
+    """One named (time, value) trace."""
+
+    name: str
+    times: List[float] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+
+    def add(self, t: float, value: float) -> None:
+        self.times.append(t)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def window_mean(self, t0: float, t1: float) -> float:
+        """Mean value of samples with t0 <= t < t1 (0 if none)."""
+        selected = [v for t, v in zip(self.times, self.values) if t0 <= t < t1]
+        return sum(selected) / len(selected) if selected else 0.0
+
+    def last(self) -> Optional[float]:
+        return self.values[-1] if self.values else None
+
+
+class SeriesSet:
+    """A keyed collection of series sharing a clock."""
+
+    def __init__(self):
+        self._series: Dict[str, Series] = {}
+
+    def series(self, name: str) -> Series:
+        if name not in self._series:
+            self._series[name] = Series(name)
+        return self._series[name]
+
+    def add(self, name: str, t: float, value: float) -> None:
+        self.series(name).add(t, value)
+
+    def names(self) -> List[str]:
+        return sorted(self._series)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._series
+
+    def __getitem__(self, name: str) -> Series:
+        return self._series[name]
+
+    def rows(self, names: Optional[Sequence[str]] = None) -> List[Tuple[float, ...]]:
+        """Align series on their sample index: (t, v1, v2, ...)."""
+        names = list(names) if names is not None else self.names()
+        if not names:
+            return []
+        length = min(len(self._series[n]) for n in names)
+        base = self._series[names[0]]
+        return [
+            (base.times[i],) + tuple(self._series[n].values[i] for n in names)
+            for i in range(length)
+        ]

@@ -1,0 +1,150 @@
+"""IO capacity model: the provisionable VOP floor (§4.2).
+
+IO interference makes achievable VOP/s swing unpredictably with the
+read/write mix and op sizes (Fig 4), so Libra refuses to model the whole
+surface.  Instead it takes the *floor* of the measured capacity curve as
+the provisionable IO capacity: allocations up to the floor are always
+satisfiable; everything above remains usable through work conservation
+but cannot be promised.
+
+``estimate_floor`` reruns the paper's interference sweep (8 backlogged
+tenants, equal VOP allocations, a grid of read/write sizes and mix
+ratios) on the simulated device; the resulting floors for the built-in
+profiles are embedded as reference constants (regenerate with
+``python -m repro.core.capacity``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+from ..ssd import SsdProfile, get_profile
+from .calibration import reference_calibration
+
+__all__ = [
+    "CapacityModel",
+    "estimate_floor",
+    "reference_capacity",
+    "REFERENCE_FLOORS",
+]
+
+KIB = 1024
+
+#: Measured VOP floors (op/s) for the built-in profiles, from the
+#: default interference grid (regenerate with
+#: ``python -m repro.core.capacity``).  The paper's Intel 320 floor is
+#: 18 kop/s against a 37.5 kop/s max (0.48 provisionable); our device
+#: model interferes a little more gently, so the floors sit at
+#: 0.52-0.67 of max — same regime, milder valleys.
+REFERENCE_FLOORS: Dict[str, float] = {
+    "intel320": 26450.0,  # max 39237, provisionable 0.67
+    "samsung840": 40353.0,  # max 67215, provisionable 0.60
+    "oczvector": 30383.0,  # max 58987, provisionable 0.52
+}
+
+#: Provisionable floors for the *full LSM stack* (P10 of the Fig 10
+#: mixed GET/PUT sweep).  Our device model's raw read/write mixes
+#: interfere more gently than the paper's hardware, so the raw floor
+#: above would overestimate what app-request workloads can sustain —
+#: the persistence engine's FLUSH/COMPACT secondary IO drags capacity
+#: further down (§6.3).  Storage nodes provision against this lower,
+#: stack-aware floor (the paper's 18 kop/s plays the same role).
+REFERENCE_STACK_FLOORS: Dict[str, float] = {
+    "intel320": 17000.0,
+    # not measured through the stack (Fig 10 runs on the Intel profile);
+    # scaled by the intel stack/raw ratio as a conservative default
+    "samsung840": 26000.0,
+    "oczvector": 19500.0,
+}
+
+
+def stack_floor(name: str) -> float:
+    """The stack-aware provisionable floor for a built-in profile."""
+    if name in REFERENCE_STACK_FLOORS:
+        return REFERENCE_STACK_FLOORS[name]
+    return 0.65 * reference_capacity(name).floor_vops
+
+
+@dataclass(frozen=True)
+class CapacityModel:
+    """Provisionable-capacity summary for one device profile."""
+
+    profile_name: str
+    #: interference-free maximum VOP/s (Max-IOP from calibration)
+    max_vops: float
+    #: conservative provisionable VOP/s (floor of the interference sweep)
+    floor_vops: float
+
+    @property
+    def provisionable_fraction(self) -> float:
+        """How much of the interference-free max can be promised."""
+        return self.floor_vops / self.max_vops
+
+    def admits(self, total_allocated_vops: float) -> bool:
+        """Local admission control: can this much be provisioned?"""
+        return total_allocated_vops <= self.floor_vops
+
+
+def estimate_floor(
+    profile: SsdProfile,
+    read_sizes: Sequence[int] = (1 * KIB, 4 * KIB, 16 * KIB, 64 * KIB, 256 * KIB),
+    write_sizes: Sequence[int] = (1 * KIB, 4 * KIB, 16 * KIB, 64 * KIB, 256 * KIB),
+    ratios: Sequence[Optional[float]] = (None, 0.99, 0.75, 0.5, 0.25, 0.01),
+    duration: float = 0.4,
+    warmup: float = 0.15,
+    seed: int = 7,
+) -> Tuple[float, Dict[Tuple[Optional[float], int, int], float]]:
+    """Sweep the interference grid; return (floor, per-point VOP/s).
+
+    ``ratios`` are read fractions; ``None`` means the exclusive
+    reader/writer split (half the tenants read, half write — the
+    paper's "1:1 mix").  This is the Fig 4 experiment; Fig 5's CDF and
+    the capacity floor both come from the same samples.
+    """
+    from ..workload.iobench import run_interference_trial  # avoid cycle
+
+    samples: Dict[Tuple[Optional[float], int, int], float] = {}
+    for ratio in ratios:
+        for rsize in read_sizes:
+            for wsize in write_sizes:
+                result = run_interference_trial(
+                    profile,
+                    read_size=rsize,
+                    write_size=wsize,
+                    read_fraction=ratio,
+                    duration=duration,
+                    warmup=warmup,
+                    seed=seed,
+                )
+                samples[(ratio, rsize, wsize)] = result.total_vops_per_sec
+    return min(samples.values()), samples
+
+
+def reference_capacity(name: str) -> CapacityModel:
+    """Capacity model for a built-in profile from embedded references.
+
+    Unknown profiles fall back to a fresh (coarse) floor estimate.
+    """
+    calibration = reference_calibration(name)
+    if name in REFERENCE_FLOORS:
+        floor = REFERENCE_FLOORS[name]
+    else:
+        floor, _samples = estimate_floor(get_profile(name))
+    return CapacityModel(
+        profile_name=name, max_vops=calibration.max_iop, floor_vops=floor
+    )
+
+
+def _main() -> None:  # pragma: no cover - regeneration utility
+    for name in ("intel320", "samsung840", "oczvector"):
+        floor, samples = estimate_floor(get_profile(name))
+        max_vops = reference_calibration(name).max_iop
+        print(
+            f"REFERENCE_FLOORS[{name!r}] = {floor:.0f}"
+            f"  # max {max_vops:.0f}, provisionable {floor / max_vops:.2f}"
+        )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    _main()

@@ -1,0 +1,67 @@
+"""IO task tagging.
+
+Libra's first key technique (§4.1): every low-level IO task carries the
+resource principal (tenant), the originating application-level request
+class (GET/PUT), and — when the IO is issued by a background engine
+operation — the internal op (FLUSH/COMPACT).  The tags let the tracker
+attribute secondary IO back to the app-request class that caused it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+__all__ = ["OpKind", "RequestClass", "InternalOp", "IoTag", "BEST_EFFORT"]
+
+
+class OpKind(str, Enum):
+    """Direction of a low-level IO operation."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+class RequestClass(str, Enum):
+    """Application-level request classes tenants reserve throughput for."""
+
+    GET = "GET"
+    PUT = "PUT"
+    DELETE = "DELETE"
+    #: Raw block IO issued directly against the scheduler (the paper's
+    #: Figs 4-9 micro-benchmarks); charged but not reservation-profiled.
+    RAW = "RAW"
+
+
+class InternalOp(str, Enum):
+    """Persistence-engine background operations that consume IO."""
+
+    FLUSH = "FLUSH"
+    COMPACT = "COMPACT"
+
+
+#: Pseudo-tenant for unattributed work (should not normally appear).
+BEST_EFFORT = "__best_effort__"
+
+
+@dataclass(frozen=True)
+class IoTag:
+    """The (tenant, app-request, internal-op) triple on each IO task."""
+
+    tenant: str
+    request: RequestClass = RequestClass.RAW
+    internal: Optional[InternalOp] = None
+
+    def with_internal(self, internal: InternalOp) -> "IoTag":
+        """Derive the tag used by a background op on this request's behalf."""
+        return IoTag(self.tenant, self.request, internal)
+
+    @property
+    def is_internal(self) -> bool:
+        """True for background (FLUSH/COMPACT) IO."""
+        return self.internal is not None
+
+    def __str__(self) -> str:
+        suffix = f"/{self.internal.value}" if self.internal else ""
+        return f"{self.tenant}:{self.request.value}{suffix}"

@@ -1,0 +1,30 @@
+"""LSM-tree persistence engine (LevelDB-like) over the simulated SSD."""
+
+from .bloom import BloomFilter, false_positive_rate
+from .compaction import CompactionJob, merge_entries, pick_compaction, split_outputs
+from .db import EngineConfig, EngineStats, LsmEngine
+from .memtable import TOMBSTONE, Entry, Memtable
+from .sstable import BLOCK_SIZE, INDEX_ENTRY_BYTES, SsTable, TableBuilder
+from .version import Version
+from .wal import Wal
+
+__all__ = [
+    "BLOCK_SIZE",
+    "BloomFilter",
+    "CompactionJob",
+    "EngineConfig",
+    "EngineStats",
+    "Entry",
+    "INDEX_ENTRY_BYTES",
+    "LsmEngine",
+    "Memtable",
+    "SsTable",
+    "TOMBSTONE",
+    "TableBuilder",
+    "Version",
+    "Wal",
+    "false_positive_rate",
+    "merge_entries",
+    "pick_compaction",
+    "split_outputs",
+]

@@ -1,0 +1,436 @@
+"""The LSM key-value persistence engine.
+
+One ``LsmEngine`` instance manages one tenant's partition: a memtable +
+WAL in front of a leveled tree of SSTables, with FLUSH and COMPACT
+running as parallel background DES processes (the paper's modified
+LevelDB runs them in parallel too).  All IO goes through the
+filesystem, whose backend is the Libra scheduler, tagged with
+(tenant, app-request, internal op).
+
+Engine methods are written as generators to be driven inside the
+caller's DES process::
+
+    size = yield from engine.get(key)
+    yield from engine.put(key, size)
+
+GET path: memtable → immutable memtable → eligible SSTables newest
+first, paying one index-block read per probed file and a data read on
+the hit.  PUT path: group-committed WAL append, memtable insert,
+rotation + background FLUSH when full (stalling writers only when a
+flush is already behind, as LevelDB does).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.tags import InternalOp, IoTag, RequestClass
+from ..core.tracker import ResourceTracker
+from ..sim import Event, Simulator
+from ..ssd import SimFilesystem
+from .compaction import merge_entries, pick_compaction, split_outputs
+from .memtable import TOMBSTONE, Memtable
+from .sstable import SsTable, TableBuilder
+from .version import Version
+from .wal import Wal
+
+__all__ = ["EngineConfig", "EngineStats", "LsmEngine"]
+
+KIB = 1024
+MIB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """LSM tuning knobs (LevelDB-flavoured defaults, scaled to the
+    simulated device size)."""
+
+    memtable_bytes: int = 2 * MIB
+    l0_trigger: int = 4
+    #: writers stop until compaction catches up at this many L0 files
+    #: (LevelDB's kL0_StopWritesTrigger)
+    l0_stop: int = 12
+    level1_bytes: int = 8 * MIB
+    level_ratio: int = 8
+    max_levels: int = 5
+    max_output_file_bytes: int = 2 * MIB
+    #: sequential IO chunk for FLUSH writes and COMPACT reads/writes
+    io_chunk: int = 256 * KIB
+    #: per-record WAL framing overhead (key + header)
+    record_overhead: int = 24
+    #: tables whose index blocks stay cached in memory (LevelDB's table
+    #: cache / max_open_files).  A GET pays an index-block read only on
+    #: the first probe of an uncached table — so write-heavy workloads,
+    #: which churn fresh L0 files, re-pay index reads constantly while
+    #: stable trees probe from memory (§3.1's GET amplification).
+    table_cache_entries: int = 8
+    #: Bloom filter bits per key (0 = off, matching the paper's
+    #: prototype).  With filters on, a GET skips eligible files whose
+    #: filter reports "absent" — buying back GET amplification at the
+    #: cost of filter memory (see bench_ablation_bloom).
+    bloom_bits_per_key: int = 0
+
+
+@dataclass
+class EngineStats:
+    """Cumulative engine activity counters."""
+
+    gets: int = 0
+    get_hits: int = 0
+    get_misses: int = 0
+    puts: int = 0
+    deletes: int = 0
+    flushes: int = 0
+    compactions: int = 0
+    compaction_input_bytes: int = 0
+    index_probes: int = 0
+    index_cache_hits: int = 0
+    bloom_skips: int = 0
+    put_stalls: int = 0
+    recoveries: int = 0
+    recovered_records: int = 0
+    scans: int = 0
+    scanned_entries: int = 0
+
+    def snapshot(self) -> "EngineStats":
+        return EngineStats(**vars(self))
+
+    def delta(self, earlier: "EngineStats") -> "EngineStats":
+        return EngineStats(
+            **{k: getattr(self, k) - getattr(earlier, k) for k in vars(self)}
+        )
+
+
+class LsmEngine:
+    """One tenant's log-structured merge tree over the shared device."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fs: SimFilesystem,
+        tenant: str,
+        config: Optional[EngineConfig] = None,
+        tracker: Optional[ResourceTracker] = None,
+    ):
+        self.sim = sim
+        self.fs = fs
+        self.tenant = tenant
+        self.config = config or EngineConfig()
+        self.tracker = tracker
+        self.stats = EngineStats()
+        self.version = Version(max_levels=self.config.max_levels)
+        self.memtable = Memtable(self.config.memtable_bytes)
+        self.immutable: Optional[Memtable] = None
+        self._wal = Wal(sim, fs, f"{tenant}-wal-0")
+        self._wal_seq = 0
+        self._sequence = 0
+        self._flush_done: Event = sim.event()
+        self._compact_done: Event = sim.event()
+        self._compacting = False
+        self._file_seq = 0
+        self._refs: Dict[int, int] = {}  # table_id -> active readers
+        self._doomed: Dict[int, SsTable] = {}  # awaiting last reader
+        #: LRU of table ids whose index blocks are resident in memory
+        self._index_cache: "OrderedDict[int, None]" = OrderedDict()
+        self._builder = TableBuilder(
+            sim,
+            fs,
+            write_chunk=self.config.io_chunk,
+            bloom_bits_per_key=self.config.bloom_bits_per_key,
+        )
+
+    # -- public request API (drive with ``yield from``) ---------------------------
+
+    def get(self, key: int, tag: Optional[IoTag] = None):
+        """Point lookup; returns the object size or None."""
+        tag = tag or IoTag(self.tenant, RequestClass.GET)
+        self.stats.gets += 1
+        for table in (self.memtable, self.immutable):
+            if table is not None:
+                entry = table.get(key)
+                if entry is not None:
+                    return self._hit_or_miss(entry.size)
+        candidates = list(self.version.eligible_files(key))
+        for table in candidates:
+            self._ref(table)
+        try:
+            for table in candidates:
+                if table.bloom is not None and not table.bloom.may_contain(key):
+                    self.stats.bloom_skips += 1
+                    continue
+                self.stats.index_probes += 1
+                if self._index_cache_hit(table):
+                    self.stats.index_cache_hits += 1
+                else:
+                    yield table.read_index_block(key, tag)
+                idx = table.find(key)
+                if idx is not None:
+                    size = table.sizes[idx]
+                    if size == TOMBSTONE:
+                        return self._hit_or_miss(TOMBSTONE)
+                    yield table.read_value(idx, tag)
+                    return self._hit_or_miss(size)
+        finally:
+            for table in candidates:
+                self._unref(table)
+        return self._hit_or_miss(None)
+
+    def put(self, key: int, size: int, tag: Optional[IoTag] = None):
+        """Durable write of ``size`` bytes under ``key``."""
+        if size <= 0:
+            raise ValueError(f"object size must be positive, got {size}")
+        tag = tag or IoTag(self.tenant, RequestClass.PUT)
+        self.stats.puts += 1
+        yield from self._write(key, size, tag)
+
+    def delete(self, key: int, tag: Optional[IoTag] = None):
+        """Durable tombstone write for ``key``."""
+        tag = tag or IoTag(self.tenant, RequestClass.DELETE)
+        self.stats.deletes += 1
+        yield from self._write(key, TOMBSTONE, tag)
+
+    def scan(self, lo: int, hi: int, tag: Optional[IoTag] = None, limit: Optional[int] = None):
+        """Range scan: sorted live (key, size) pairs with lo <= key <= hi.
+
+        Merges every overlapping source — both memtables and all
+        overlapping tables at every level — newest version winning,
+        tombstones suppressing older values.  Each overlapping table
+        costs one sequential read of the covered data span (what a
+        LevelDB iterator pays).
+        """
+        if lo > hi:
+            raise ValueError(f"scan range [{lo}, {hi}] is empty")
+        tag = tag or IoTag(self.tenant, RequestClass.GET)
+        self.stats.scans += 1
+        merged: Dict[int, int] = {}
+        # Oldest sources first so newer layers overwrite.
+        tables: List[SsTable] = []
+        for level in range(self.version.max_levels - 1, 0, -1):
+            tables.extend(self.version.overlapping(level, lo, hi))
+        tables.extend(reversed(self.version.overlapping(0, lo, hi)))
+        for table in tables:
+            self._ref(table)
+        try:
+            for table in tables:
+                read = table.read_range(lo, hi, tag)
+                if read is not None:
+                    yield read
+                for idx in table.range_indices(lo, hi):
+                    merged[table.keys[idx]] = table.sizes[idx]
+        finally:
+            for table in tables:
+                self._unref(table)
+        for source in (self.immutable, self.memtable):
+            if source is None:
+                continue
+            for key, entry in source.sorted_entries():
+                if lo <= key <= hi:
+                    merged[key] = entry.size
+        results = [
+            (key, size)
+            for key, size in sorted(merged.items())
+            if size != TOMBSTONE
+        ]
+        if limit is not None:
+            results = results[:limit]
+        self.stats.scanned_entries += len(results)
+        return results
+
+    # -- introspection -----------------------------------------------------------
+
+    def eligible_count(self, key: int) -> int:
+        """Files a GET for ``key`` would probe right now (diagnostics)."""
+        return self.version.eligible_count(key)
+
+    @property
+    def live_bytes(self) -> int:
+        """Approximate live data across memtables and all levels."""
+        total = self.memtable.bytes + (self.immutable.bytes if self.immutable else 0)
+        return total + sum(
+            self.version.level_bytes(level) for level in range(self.version.max_levels)
+        )
+
+    # -- write path ---------------------------------------------------------------
+
+    def _write(self, key: int, size: int, tag: IoTag):
+        # LevelDB-style backpressure: stall when the memtable is full
+        # with the previous one still flushing, or when L0 is so deep
+        # that compaction must catch up first (kL0_StopWritesTrigger).
+        while (self.memtable.full and self.immutable is not None) or (
+            len(self.version.levels[0]) >= self.config.l0_stop
+        ):
+            self.stats.put_stalls += 1
+            if len(self.version.levels[0]) >= self.config.l0_stop:
+                self._maybe_compact()
+                yield self._compact_done
+            else:
+                yield self._flush_done
+        record = max(size, 0) + self.config.record_overhead
+        yield self._wal.append(record, tag, record=(key, size))
+        self._sequence += 1
+        self.memtable.put(key, size, self._sequence)
+        if self.memtable.full and self.immutable is None:
+            self._rotate(tag.request)
+
+    def _rotate(self, trigger_request: RequestClass) -> None:
+        """Swap in a fresh memtable+WAL and start the background FLUSH."""
+        self.immutable = self.memtable
+        immutable_wal = self._wal
+        self.memtable = Memtable(self.config.memtable_bytes)
+        self._wal_seq += 1
+        self._wal = Wal(self.sim, self.fs, f"{self.tenant}-wal-{self._wal_seq}")
+        if self.tracker is not None:
+            self.tracker.note_trigger(self.tenant, RequestClass.PUT, InternalOp.FLUSH)
+        self.sim.process(
+            self._flush(self.immutable, immutable_wal),
+            name=f"{self.tenant}.flush",
+        )
+
+    def _flush(self, memtable: Memtable, old_wal: Wal):
+        tag = IoTag(self.tenant, RequestClass.PUT, InternalOp.FLUSH)
+        table = yield from self._builder.build(
+            ((key, entry.size) for key, entry in memtable.sorted_entries()),
+            tag,
+            name=self._next_file_name(),
+        )
+        self.version.add_l0(table)
+        # Wait out any group commit still landing in the old log before
+        # deleting it (a concurrent PUT may have appended there moments
+        # before the rotation).
+        yield old_wal.quiesced()
+        old_wal.retire()
+        self.immutable = None
+        self.stats.flushes += 1
+        if self.tracker is not None:
+            self.tracker.note_internal_op(self.tenant, InternalOp.FLUSH)
+        done, self._flush_done = self._flush_done, self.sim.event()
+        done.succeed()
+        self._maybe_compact()
+
+    # -- crash recovery ------------------------------------------------------------
+
+    def crash_and_recover(self, tag: Optional[IoTag] = None):
+        """DES generator: simulate a crash and recover from the WAL.
+
+        Both in-memory tables are dropped (as a process crash would),
+        then the live WAL is scanned sequentially (real read IO, tagged
+        as PUT recovery work) and replayed into a fresh memtable.  The
+        engine quiesces an in-flight FLUSH first: its memtable is
+        already durable in the immutable WAL and the flush completes it
+        to an SSTable, which recovery keeps (LevelDB recovers any log
+        whose table did not land; completing the flush is equivalent
+        and avoids tearing a half-written table out of the DES).
+
+        Returns the number of replayed records.
+        """
+        tag = tag or IoTag(self.tenant, RequestClass.PUT)
+        while self.immutable is not None:
+            yield self._flush_done
+        # Crash: volatile state gone.
+        self.memtable = Memtable(self.config.memtable_bytes)
+        # Recovery: scan and replay the live WAL.
+        records = yield from self._wal.scan(tag)
+        for key, size in records:
+            self._sequence += 1
+            self.memtable.put(key, size, self._sequence)
+        self.stats.recoveries += 1
+        self.stats.recovered_records += len(records)
+        if self.memtable.full and self.immutable is None:
+            self._rotate(tag.request)
+        return len(records)
+
+    # -- compaction -----------------------------------------------------------------
+
+    def _maybe_compact(self) -> None:
+        if self._compacting:
+            return
+        job = pick_compaction(
+            self.version,
+            l0_trigger=self.config.l0_trigger,
+            level1_bytes=self.config.level1_bytes,
+            level_ratio=self.config.level_ratio,
+        )
+        if job is None:
+            return
+        self._compacting = True
+        if self.tracker is not None:
+            self.tracker.note_trigger(self.tenant, RequestClass.PUT, InternalOp.COMPACT)
+        self.sim.process(self._compact(job), name=f"{self.tenant}.compact")
+
+    def _compact(self, job):
+        tag = IoTag(self.tenant, RequestClass.PUT, InternalOp.COMPACT)
+        try:
+            # Sequentially read every input file.
+            for table in job.inputs:
+                pos = 0
+                while pos < table.file.size:
+                    chunk = min(self.config.io_chunk, table.file.size - pos)
+                    yield table.file.read(pos, chunk, tag=tag)
+                    pos += chunk
+                self.stats.compaction_input_bytes += table.file.size
+            drop_tombstones = job.target_level >= self.version.max_levels - 1
+            outputs: List[SsTable] = []
+            merged = merge_entries(job.inputs, drop_tombstones=drop_tombstones)
+            for batch in split_outputs(merged, self.config.max_output_file_bytes):
+                table = yield from self._builder.build(
+                    iter(batch), tag, name=self._next_file_name()
+                )
+                outputs.append(table)
+            self.version.remove(job.inputs)
+            self.version.install(job.target_level, outputs)
+            for table in job.inputs:
+                self._doom(table)
+            self.stats.compactions += 1
+            if self.tracker is not None:
+                self.tracker.note_internal_op(self.tenant, InternalOp.COMPACT)
+        finally:
+            self._compacting = False
+            done, self._compact_done = self._compact_done, self.sim.event()
+            done.succeed()
+        self._maybe_compact()
+
+    def _next_file_name(self) -> str:
+        self._file_seq += 1
+        return f"{self.tenant}-sst-{self._file_seq}"
+
+    def _index_cache_hit(self, table: SsTable) -> bool:
+        """Check/update the table cache; True if the index is resident."""
+        if table.table_id in self._index_cache:
+            self._index_cache.move_to_end(table.table_id)
+            return True
+        self._index_cache[table.table_id] = None
+        while len(self._index_cache) > self.config.table_cache_entries:
+            self._index_cache.popitem(last=False)
+        return False
+
+    # -- table lifetime (readers vs compaction) -----------------------------------------
+
+    def _ref(self, table: SsTable) -> None:
+        self._refs[table.table_id] = self._refs.get(table.table_id, 0) + 1
+
+    def _unref(self, table: SsTable) -> None:
+        remaining = self._refs.get(table.table_id, 0) - 1
+        if remaining <= 0:
+            self._refs.pop(table.table_id, None)
+            doomed = self._doomed.pop(table.table_id, None)
+            if doomed is not None:
+                self.fs.delete(doomed.file)
+        else:
+            self._refs[table.table_id] = remaining
+
+    def _doom(self, table: SsTable) -> None:
+        """Delete a compacted-away table once no GET is reading it."""
+        self._index_cache.pop(table.table_id, None)
+        if self._refs.get(table.table_id, 0) > 0:
+            self._doomed[table.table_id] = table
+        else:
+            self.fs.delete(table.file)
+
+    def _hit_or_miss(self, size: Optional[int]):
+        if size is None or size == TOMBSTONE:
+            self.stats.get_misses += 1
+            return None
+        self.stats.get_hits += 1
+        return size

@@ -1,0 +1,69 @@
+"""In-memory write buffer.
+
+Holds the newest version of each recently written key until the size
+threshold rotates it out for a background FLUSH.  Entries store only
+object metadata (size, tombstone) — the simulation never materializes
+value bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+__all__ = ["Memtable", "Entry", "TOMBSTONE"]
+
+#: sentinel size marking a deletion record
+TOMBSTONE = -1
+
+
+class Entry:
+    """One key's newest buffered version."""
+
+    __slots__ = ("size", "sequence")
+
+    def __init__(self, size: int, sequence: int):
+        self.size = size
+        self.sequence = sequence
+
+    @property
+    def is_tombstone(self) -> bool:
+        return self.size == TOMBSTONE
+
+
+class Memtable:
+    """A size-bounded write buffer with point lookup."""
+
+    def __init__(self, limit_bytes: int):
+        if limit_bytes <= 0:
+            raise ValueError(f"memtable limit must be positive, got {limit_bytes}")
+        self.limit_bytes = limit_bytes
+        self._entries: Dict[int, Entry] = {}
+        self.bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return self.bytes >= self.limit_bytes
+
+    @property
+    def empty(self) -> bool:
+        return not self._entries
+
+    def put(self, key: int, size: int, sequence: int) -> None:
+        """Insert/overwrite a key (``size=TOMBSTONE`` records a delete)."""
+        previous = self._entries.get(key)
+        if previous is not None:
+            self.bytes -= max(previous.size, 0)
+        self._entries[key] = Entry(size, sequence)
+        self.bytes += max(size, 0)
+
+    def get(self, key: int) -> Optional[Entry]:
+        """The buffered entry for ``key``, or None if absent."""
+        return self._entries.get(key)
+
+    def sorted_entries(self) -> Iterator[Tuple[int, Entry]]:
+        """Entries in key order (for building an SSTable)."""
+        for key in sorted(self._entries):
+            yield key, self._entries[key]

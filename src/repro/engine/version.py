@@ -1,0 +1,101 @@
+"""Leveled file manifest.
+
+Tracks which SSTables are live at each level, mirroring LevelDB:
+
+- **L0** files come straight from memtable FLUSHes and may overlap each
+  other, so a lookup must probe every L0 file whose range covers the
+  key, newest first;
+- **L1+** files are non-overlapping and sorted, so each level
+  contributes at most one candidate.
+
+The number of *eligible files* for a key — every one of which costs an
+index-block read — is the engine-level source of GET amplification
+(§3.1): write-heavy workloads grow L0 and widen ranges, inflating GET
+cost until a COMPACT merges the files down.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator, List, Optional
+
+from .sstable import SsTable
+
+__all__ = ["Version"]
+
+
+class Version:
+    """Mutable view of the live file tree."""
+
+    def __init__(self, max_levels: int = 5):
+        if max_levels < 2:
+            raise ValueError("need at least L0 and L1")
+        self.levels: List[List[SsTable]] = [[] for _ in range(max_levels)]
+
+    @property
+    def max_levels(self) -> int:
+        return len(self.levels)
+
+    @property
+    def file_count(self) -> int:
+        return sum(len(level) for level in self.levels)
+
+    def level_bytes(self, level: int) -> int:
+        """Live data bytes at a level (compaction sizing input)."""
+        return sum(t.data_bytes for t in self.levels[level])
+
+    # -- mutation ---------------------------------------------------------------
+
+    def add_l0(self, table: SsTable) -> None:
+        """Install a freshly flushed table (newest first)."""
+        self.levels[0].insert(0, table)
+
+    def install(self, level: int, tables: List[SsTable]) -> None:
+        """Add compaction outputs to ``level``, keeping sort order."""
+        if level == 0:
+            for t in reversed(tables):
+                self.add_l0(t)
+            return
+        merged = self.levels[level] + tables
+        merged.sort(key=lambda t: t.min_key)
+        self.levels[level] = merged
+
+    def remove(self, tables: List[SsTable]) -> None:
+        """Drop tables (they were compacted away)."""
+        doomed = {t.table_id for t in tables}
+        for level in range(len(self.levels)):
+            self.levels[level] = [
+                t for t in self.levels[level] if t.table_id not in doomed
+            ]
+
+    # -- lookup ------------------------------------------------------------------
+
+    def eligible_files(self, key: int) -> Iterator[SsTable]:
+        """Candidate tables for a key, newest first.
+
+        Every yielded table costs the caller an index-block probe.
+        """
+        for table in self.levels[0]:
+            if table.covers(key):
+                yield table
+        for level in range(1, len(self.levels)):
+            table = self._find_in_level(level, key)
+            if table is not None:
+                yield table
+
+    def eligible_count(self, key: int) -> int:
+        """How many files a GET for ``key`` may need to probe."""
+        return sum(1 for _t in self.eligible_files(key))
+
+    def _find_in_level(self, level: int, key: int) -> Optional[SsTable]:
+        tables = self.levels[level]
+        if not tables:
+            return None
+        i = bisect.bisect_right([t.min_key for t in tables], key) - 1
+        if i >= 0 and tables[i].covers(key):
+            return tables[i]
+        return None
+
+    def overlapping(self, level: int, lo: int, hi: int) -> List[SsTable]:
+        """Tables at ``level`` intersecting [lo, hi] (compaction input)."""
+        return [t for t in self.levels[level] if t.overlaps(lo, hi)]

@@ -1,0 +1,116 @@
+"""Write-ahead log with group commit.
+
+Every PUT first lands in the append-only WAL (§3.1) as a synchronous
+write — the paper's prototype issues these with O_SYNC/O_DIRECT and
+parallel client writers.  Concurrent appends are *group committed*:
+while one WAL write is in flight, arriving records accumulate and are
+flushed together in a single larger write, which is what keeps small
+PUTs from paying a full device round-trip each.
+
+WAL appends are the "PUT write IO" component of Fig 2: small records
+make sub-page tail writes whose cost-per-byte is high.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core.tags import IoTag
+from ..sim import Event, Simulator
+from ..ssd import SimFile, SimFilesystem
+
+__all__ = ["Wal"]
+
+
+class Wal:
+    """One tenant memtable's write-ahead log file."""
+
+    def __init__(self, sim: Simulator, fs: SimFilesystem, name: str):
+        self.sim = sim
+        self.fs = fs
+        self.file: SimFile = fs.create(name)
+        self._pending: List[Tuple[int, Event, Optional[Tuple[int, int]]]] = []
+        self._committing = False
+        self.records = 0
+        self.batches = 0
+        #: *durable* (key, size) records in commit order — exactly what
+        #: a crash-recovery scan of this log reconstructs; records whose
+        #: group commit has not completed are not yet in here
+        self.entries: List[Tuple[int, int]] = []
+        self._drain_waiters: List[Event] = []
+
+    @property
+    def size(self) -> int:
+        """Bytes durably appended so far."""
+        return self.file.size
+
+    def append(
+        self, nbytes: int, tag: IoTag, record: Optional[Tuple[int, int]] = None
+    ) -> Event:
+        """Durably append a record; the event fires once it is on disk.
+
+        ``record`` is the logical (key, size) payload retained for crash
+        recovery; pass None for opaque appends.
+        """
+        if nbytes <= 0:
+            raise ValueError(f"record size must be positive, got {nbytes}")
+        done = self.sim.event()
+        self._pending.append((nbytes, done, record))
+        self.records += 1
+        if not self._committing:
+            self._committing = True
+            self.sim.process(self._commit_loop(tag), name=f"wal.{self.file.name}")
+        return done
+
+    def _commit_loop(self, tag: IoTag):
+        try:
+            while self._pending:
+                batch, self._pending = self._pending, []
+                total = sum(nbytes for nbytes, _ev, _rec in batch)
+                self.batches += 1
+                yield self.file.append(total, tag=tag)
+                for _nbytes, ev, record in batch:
+                    if record is not None:
+                        self.entries.append(record)
+                    ev.succeed()
+        finally:
+            self._committing = False
+            if not self._pending:
+                waiters, self._drain_waiters = self._drain_waiters, []
+                for waiter in waiters:
+                    waiter.succeed()
+
+    def quiesced(self) -> Event:
+        """Event that fires once no group commit is pending or running.
+
+        A memtable's WAL can still have a concurrent writer's record in
+        flight when the FLUSH finishes building the SSTable; retiring
+        must wait for that commit to land (the record is durable in
+        *this* log even though its memtable entry went to the
+        successor).
+        """
+        done = self.sim.event()
+        if not self._pending and not self._committing:
+            done.succeed()
+        else:
+            self._drain_waiters.append(done)
+        return done
+
+    def retire(self) -> None:
+        """Delete the log file (its memtable has been flushed)."""
+        if self._pending or self._committing:
+            raise RuntimeError(f"retiring WAL {self.file.name} with writes in flight")
+        self.fs.delete(self.file)
+        self.entries = []
+
+    def scan(self, tag: IoTag, chunk: int = 256 * 1024):
+        """DES generator: sequentially read the whole log (recovery IO).
+
+        Returns the durable (key, size) records.
+        """
+        pos = 0
+        while pos < self.file.size:
+            length = min(chunk, self.file.size - pos)
+            yield self.file.read(pos, length, tag=tag)
+            pos += length
+        return list(self.entries)

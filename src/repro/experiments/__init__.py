@@ -1,0 +1,10 @@
+"""Experiment harness: one module per figure of the paper's evaluation.
+
+Each module exposes ``run(quick=True, ...) -> result`` and
+``render(result) -> str``; the CLI (``python -m repro.experiments``)
+wires them together.  See DESIGN.md for the experiment index.
+"""
+
+from .runner import FIGURES, run_figure
+
+__all__ = ["FIGURES", "run_figure"]

@@ -1,0 +1,74 @@
+"""Shared experiment scaffolding.
+
+Every figure module exposes ``run(quick=True, ...) -> result`` and
+``render(result) -> str``.  ``quick`` mode trims grids and measurement
+windows so the full suite regenerates in minutes; ``full`` mode matches
+the paper's grids (every power-of-two size from 1 KB to 256 KB, all six
+mix ratios) at longer windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+__all__ = ["ExperimentMode", "QUICK", "FULL", "size_label", "KIB", "MIB"]
+
+KIB = 1024
+MIB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class ExperimentMode:
+    """Grid densities and window lengths for an experiment run."""
+
+    name: str
+    sizes: Sequence[int]
+    #: read fraction per mixed-ratio experiment; None = exclusive halves
+    ratios: Sequence[Optional[float]]
+    sigmas: Sequence[int]
+    duration: float
+    warmup: float
+    #: steady-state horizon for the KV time-series experiments
+    kv_horizon: float
+
+    def label(self) -> str:
+        return self.name
+
+
+QUICK = ExperimentMode(
+    name="quick",
+    sizes=tuple(2**i * KIB for i in (0, 2, 4, 6, 8)),  # 1,4,16,64,256 KB
+    ratios=(None, 0.99, 0.75, 0.5, 0.25, 0.01),
+    sigmas=(4 * KIB, 32 * KIB),
+    duration=0.4,
+    warmup=0.15,
+    kv_horizon=60.0,
+)
+
+FULL = ExperimentMode(
+    name="full",
+    sizes=tuple(2**i * KIB for i in range(9)),  # 1..256 KB
+    ratios=(None, 0.99, 0.75, 0.5, 0.25, 0.01),
+    sigmas=(4 * KIB, 32 * KIB, 256 * KIB),
+    duration=0.8,
+    warmup=0.2,
+    kv_horizon=120.0,
+)
+
+
+def mode_for(quick: bool) -> ExperimentMode:
+    return QUICK if quick else FULL
+
+
+def size_label(size: int) -> str:
+    """1024 -> '1K', 262144 -> '256K'."""
+    return f"{size // KIB}K"
+
+
+def ratio_label(ratio: Optional[float]) -> str:
+    """Read fraction -> the paper's 'R:W' labels (None = '1:1 mix')."""
+    if ratio is None:
+        return "1:1-mix"
+    r = int(round(ratio * 100))
+    return f"{r}:{100 - r}"

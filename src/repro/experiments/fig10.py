@@ -1,0 +1,219 @@
+"""Figure 10: VOP throughput of the full LSM stack vs app-request mix.
+
+(a) Pure GET and pure PUT workloads over the request-size range;
+(b) mixed GET/PUT ratios over a (GET size × PUT size) grid with
+log-normal sizes (σ = 4K);
+(c) the CDF of (b)'s throughput per ratio, and how the provisionable
+VOP floor covers it.
+
+Expected shape: pure GETs approach the device max; PUT workloads drop
+well below it (FLUSH/COMPACT read-write interference); mixed ratios
+degrade as the mix becomes PUT-heavy; the floor leaves a modest
+unprovisionable-but-usable gap for PUT-heavy small-value workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.metrics import cdf_points, percentile
+from ..analysis.report import format_cdf, format_heatmap, format_table
+from ..core.capacity import reference_capacity, stack_floor
+from ..core.policy import Reservation
+from ..engine import EngineConfig
+from ..node import NodeConfig, StorageNode
+from ..sim import Simulator
+from ..ssd import get_profile
+from ..workload.generator import KvLoad, KvTenantSpec, bootstrap_tenant, start_kv_load
+from .common import size_label
+
+__all__ = ["run", "render", "Fig10Result"]
+
+KIB = 1024
+MIB = 1024 * 1024
+
+
+@dataclass
+class Fig10Result:
+    profile: str
+    mode: str
+    #: the stack-aware provisionable floor nodes use
+    floor: float
+    #: the raw-IO interference floor (Fig 4), for comparison
+    raw_floor: float
+    max_vops: float
+    #: ('GET'|'PUT', size) -> VOP/s for the pure sweeps
+    pure: Dict[Tuple[str, int], float]
+    #: (get_fraction, get size, put size) -> VOP/s
+    mixed: Dict[Tuple[float, int, int], float]
+
+    def cdf_curves(self) -> Dict[str, List[Tuple[float, float]]]:
+        curves = {}
+        for fraction in sorted({f for (f, _g, _p) in self.mixed}):
+            samples = [v for (f, _g, _p), v in self.mixed.items() if f == fraction]
+            label = f"{int(fraction * 100)}:{int(round((1 - fraction) * 100))} GET/PUT"
+            curves[label] = cdf_points([s / 1e3 for s in samples])
+        return curves
+
+    def floor_coverage(self) -> Dict[str, float]:
+        """The paper's headline floor statistics over the mixed trials."""
+        samples = sorted(self.mixed.values())
+        p80 = percentile(samples, 80)
+        below_floor = sum(1 for s in samples if s < self.floor) / len(samples)
+        return {
+            "p80_vops": p80,
+            "floor_over_p80": self.floor / p80,
+            "fraction_below_floor": below_floor,
+            "median_unprovisionable": max(
+                0.0, 1.0 - self.floor / percentile(samples, 50)
+            ),
+        }
+
+
+def _measure_stack_vops(
+    profile_name: str,
+    get_fraction: float,
+    get_size: int,
+    put_size: int,
+    sigma: float,
+    horizon: float,
+    warmup: float,
+    seed: int,
+) -> float:
+    """Total steady-state VOP/s of one backlogged app-request workload."""
+    sim = Simulator()
+    profile = get_profile(profile_name).with_capacity(768 * MIB)
+    node = StorageNode(
+        sim,
+        profile=profile,
+        config=NodeConfig(capacity_vops=reference_capacity(profile_name).floor_vops),
+        seed=seed,
+    )
+    measured = {"vops": 0.0, "on": False}
+    downstream = node.tracker.note_io
+
+    def observer(tag, kind, size, cost):
+        downstream(tag, kind, size, cost)
+        if measured["on"]:
+            measured["vops"] += cost
+
+    node.scheduler.io_observer = observer
+    value_size = max(get_size, put_size)
+    n_keys = max(min(96 * MIB // value_size, 8000), 256)
+    spec = KvTenantSpec(
+        name="t0",
+        get_fraction=get_fraction,
+        get_size=get_size,
+        put_size=put_size,
+        sigma=sigma,
+        n_keys=n_keys,
+        workers=8,
+        reservation=Reservation(gets=1, puts=1),
+        separate_regions=get_size != put_size,
+    )
+    node.add_tenant(spec.name, spec.reservation)
+    preload = n_keys // 2 if spec.separate_regions else n_keys
+    if get_fraction > 0:
+        bootstrap_tenant(node.engines[spec.name], preload, get_size)
+    load = KvLoad(sim, node, [spec])
+    start_kv_load(load, horizon=horizon, seed=seed)
+    sim.run(until=warmup)
+    measured["on"] = True
+    sim.run(until=horizon)
+    return measured["vops"] / (horizon - warmup)
+
+
+def run(quick: bool = True, profile_name: str = "intel320", seed: int = 9) -> Fig10Result:
+    """Regenerate Figure 10 (pure sweep + mixed grid + CDF data)."""
+    if quick:
+        pure_sizes = [1 * KIB, 4 * KIB, 16 * KIB, 64 * KIB, 256 * KIB]
+        grid_sizes = [4 * KIB, 16 * KIB, 64 * KIB]
+        horizon, warmup = 12.0, 5.0
+    else:
+        pure_sizes = [2**i * KIB for i in range(9)]
+        grid_sizes = [1 * KIB, 4 * KIB, 16 * KIB, 64 * KIB, 256 * KIB]
+        horizon, warmup = 25.0, 10.0
+    capacity = reference_capacity(profile_name)
+    node_floor = stack_floor(profile_name)
+    pure = {}
+    for size in pure_sizes:
+        pure[("GET", size)] = _measure_stack_vops(
+            profile_name, 1.0, size, size, 4 * KIB, horizon, warmup, seed
+        )
+        pure[("PUT", size)] = _measure_stack_vops(
+            profile_name, 0.0, size, size, 4 * KIB, horizon, warmup, seed
+        )
+    mixed = {}
+    for fraction in (0.75, 0.5, 0.25, 0.01):
+        for gsize in grid_sizes:
+            for psize in grid_sizes:
+                mixed[(fraction, gsize, psize)] = _measure_stack_vops(
+                    profile_name, fraction, gsize, psize, 4 * KIB,
+                    horizon, warmup, seed,
+                )
+    return Fig10Result(
+        profile=profile_name,
+        mode="quick" if quick else "full",
+        floor=node_floor,
+        raw_floor=capacity.floor_vops,
+        max_vops=capacity.max_vops,
+        pure=pure,
+        mixed=mixed,
+    )
+
+
+def render(result: Fig10Result) -> str:
+    blocks = [
+        f"Figure 10 — stack VOP throughput vs app-request workload, "
+        f"{result.profile} ({result.mode})",
+        f"device max = {result.max_vops / 1e3:.1f} kop/s, "
+        f"stack VOP floor = {result.floor / 1e3:.1f} kop/s "
+        f"(raw-IO floor {result.raw_floor / 1e3:.1f})",
+        "",
+    ]
+    sizes = sorted({s for (_k, s) in result.pure})
+    rows = [
+        [size_label(s), result.pure[("GET", s)] / 1e3, result.pure[("PUT", s)] / 1e3]
+        for s in sizes
+    ]
+    blocks.append(
+        format_table(
+            ["size", "GET kVOP/s", "PUT kVOP/s"], rows,
+            title="(a) pure GET / PUT workloads",
+        )
+    )
+    blocks.append("")
+    grid_sizes = sorted({g for (_f, g, _p) in result.mixed})
+    for fraction in sorted({f for (f, _g, _p) in result.mixed}, reverse=True):
+        grid = [
+            [result.mixed[(fraction, g, p)] / 1e3 for g in grid_sizes]
+            for p in reversed(grid_sizes)
+        ]
+        blocks.append(
+            format_heatmap(
+                [size_label(p) for p in reversed(grid_sizes)],
+                [size_label(g) for g in grid_sizes],
+                grid,
+                title=(
+                    f"(b) {int(fraction * 100)}:{int(round((1 - fraction) * 100))} "
+                    "GET/PUT (rows: PUT size, cols: GET size, kVOP/s)"
+                ),
+            )
+        )
+        blocks.append("")
+    blocks.append(
+        format_cdf(result.cdf_curves(), title="(c) CDF of mixed-workload VOP throughput",
+                   value_label="kVOP/s")
+    )
+    coverage = result.floor_coverage()
+    blocks.append(
+        f"floor coverage: floor/P80 = {coverage['floor_over_p80']:.2f}, "
+        f"trials below floor = {coverage['fraction_below_floor'] * 100:.0f}%, "
+        f"median unprovisionable share = {coverage['median_unprovisionable'] * 100:.0f}%"
+    )
+    return "\n".join(blocks)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(render(run(quick=True)))

@@ -1,0 +1,165 @@
+"""Figure 2: app-request IO consumption vs request size.
+
+A single backlogged tenant runs a 50:50 GET/PUT workload over uniform
+keys at each request size; the harness measures steady-state VOP/s
+broken down by component: GET read IO, PUT write IO (WAL), FLUSH
+read/write IO, COMPACT read/write IO.  The final point reproduces the
+paper's split workload — 32K GETs against a pre-existing indexed region
+while 128K PUTs stress a different region — where GET amplification
+collapses to a single-file probe.
+
+Expected shape: PUT (WAL) IO dominates at small sizes; its share falls
+as cost-per-byte drops with size; FLUSH stays roughly constant;
+COMPACT grows with write bandwidth; GET IO swells at large request
+sizes (more eligible files) except in the split workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.report import format_table
+from ..core.policy import Reservation
+from ..core.tags import InternalOp, IoTag, OpKind, RequestClass
+from ..engine import EngineConfig
+from ..node import NodeConfig, StorageNode
+from ..sim import Simulator
+from ..ssd import get_profile
+from ..workload.generator import KvLoad, KvTenantSpec, bootstrap_tenant, start_kv_load
+from .common import size_label
+
+__all__ = ["run", "render", "Fig2Result", "COMPONENTS"]
+
+KIB = 1024
+MIB = 1024 * 1024
+
+COMPONENTS = (
+    "GET read IO",
+    "PUT write IO",
+    "FLUSH read IO",
+    "FLUSH write IO",
+    "COMPACT read IO",
+    "COMPACT write IO",
+)
+
+
+@dataclass
+class Fig2Result:
+    profile: str
+    #: point label -> component -> VOP/s
+    points: Dict[str, Dict[str, float]]
+
+
+def _component(tag: IoTag, kind: OpKind) -> Optional[str]:
+    if tag.internal == InternalOp.FLUSH:
+        return f"FLUSH {kind.value} IO"
+    if tag.internal == InternalOp.COMPACT:
+        return f"COMPACT {kind.value} IO"
+    if tag.request == RequestClass.GET:
+        return "GET read IO"
+    if tag.request in (RequestClass.PUT, RequestClass.DELETE):
+        return "PUT write IO"
+    return None
+
+
+def _run_point(
+    profile_name: str,
+    get_size: int,
+    put_size: int,
+    separate_regions: bool,
+    horizon: float,
+    warmup: float,
+    seed: int,
+) -> Dict[str, float]:
+    sim = Simulator()
+    profile = get_profile(profile_name).with_capacity(768 * MIB)
+    node = StorageNode(
+        sim,
+        profile=profile,
+        config=NodeConfig(capacity_vops=26_000.0, engine=EngineConfig()),
+        seed=seed,
+    )
+    breakdown: Dict[str, float] = {c: 0.0 for c in COMPONENTS}
+    measuring = {"on": False}
+    downstream = node.tracker.note_io
+
+    def observer(tag, kind, size, cost):
+        downstream(tag, kind, size, cost)
+        if measuring["on"]:
+            component = _component(tag, kind)
+            if component is not None:
+                breakdown[component] += cost
+
+    node.scheduler.io_observer = observer
+    # Keyspace sized to ~10% of the device so data plus LSM slack fits.
+    value_size = max(get_size, put_size) if not separate_regions else put_size
+    n_keys = max(min(96 * MIB // value_size, 8000), 256)
+    spec = KvTenantSpec(
+        name="t0",
+        get_fraction=0.5,
+        get_size=get_size,
+        put_size=put_size,
+        sigma=0,
+        n_keys=n_keys,
+        workers=8,
+        reservation=Reservation(gets=1, puts=1),
+        separate_regions=separate_regions,
+    )
+    node.add_tenant(spec.name, spec.reservation)
+    # Preload so GETs hit indexed data from the start.
+    preload_keys = n_keys // 2 if separate_regions else n_keys
+    bootstrap_tenant(node.engines[spec.name], preload_keys, get_size)
+    load = KvLoad(sim, node, [spec])
+    start_kv_load(load, horizon=horizon, seed=seed)
+    sim.run(until=warmup)
+    measuring["on"] = True
+    sim.run(until=horizon)
+    duration = horizon - warmup
+    return {c: v / duration for c, v in breakdown.items()}
+
+
+def run(
+    quick: bool = True,
+    profile_name: str = "intel320",
+    seed: int = 5,
+) -> Fig2Result:
+    """Regenerate the Figure 2 amplification breakdown."""
+    sizes = (
+        [1 * KIB, 4 * KIB, 16 * KIB, 64 * KIB, 128 * KIB]
+        if quick
+        else [1 * KIB, 4 * KIB, 8 * KIB, 16 * KIB, 32 * KIB, 64 * KIB, 128 * KIB]
+    )
+    horizon = 20.0 if quick else 40.0
+    warmup = 8.0 if quick else 15.0
+    points = {}
+    for size in sizes:
+        points[size_label(size)] = _run_point(
+            profile_name, size, size, False, horizon, warmup, seed
+        )
+    points["32K/128K"] = _run_point(
+        profile_name, 32 * KIB, 128 * KIB, True, horizon, warmup, seed
+    )
+    return Fig2Result(profile=profile_name, points=points)
+
+
+def render(result: Fig2Result) -> str:
+    rows = []
+    for label, comps in result.points.items():
+        rows.append(
+            [label]
+            + [comps[c] / 1e3 for c in COMPONENTS]
+            + [sum(comps.values()) / 1e3]
+        )
+    return format_table(
+        ["req size"] + [c.replace(" IO", "") for c in COMPONENTS] + ["total"],
+        rows,
+        title=(
+            f"Figure 2 — app-request VOP consumption (kop/s) by component, "
+            f"50:50 GET/PUT, {result.profile}"
+        ),
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(render(run(quick=True)))

@@ -1,0 +1,113 @@
+"""Figure 4: IO throughput under interference (heat maps).
+
+8 backlogged tenants with equal VOP allocations issue raw reads/writes
+through Libra over a (read size × write size) grid, for each read/write
+mix ratio, plus log-normal variable-size rows.  Each cell reports total
+VOP/s measured with the exact cost model.  Expected shape: mild
+interference for read-dominant mixes, a throughput valley that spreads
+and migrates as the mix moves toward writes, and flatter/lower surfaces
+as size variance grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.report import format_heatmap
+from ..ssd import get_profile
+from ..workload.iobench import DeviceEnv, run_interference_trial
+from .common import mode_for, ratio_label, size_label
+
+__all__ = ["run", "render", "Fig4Result"]
+
+KIB = 1024
+
+
+@dataclass
+class Fig4Result:
+    profile: str
+    mode: str
+    sizes: Tuple[int, ...]
+    #: (ratio, sigma, read size, write size) -> total VOP/s
+    cells: Dict[Tuple[Optional[float], Optional[int], int, int], float]
+
+    def grid(self, ratio: Optional[float], sigma: Optional[int]) -> List[List[float]]:
+        """Rows = write sizes (large→small, as the paper draws it)."""
+        return [
+            [self.cells[(ratio, sigma, r, w)] for r in self.sizes]
+            for w in reversed(self.sizes)
+        ]
+
+    @property
+    def floor(self) -> float:
+        return min(self.cells.values())
+
+    @property
+    def peak(self) -> float:
+        return max(self.cells.values())
+
+
+def run(quick: bool = True, profile_name: str = "intel320", seed: int = 7) -> Fig4Result:
+    """Regenerate the Figure 4 interference sweep."""
+    mode = mode_for(quick)
+    profile = get_profile(profile_name)
+    env = DeviceEnv(profile, seed=seed)
+    cells = {}
+    variants: List[Tuple[Optional[float], Optional[int]]] = [
+        (ratio, None) for ratio in mode.ratios
+    ]
+    variants += [(0.5, sigma) for sigma in mode.sigmas]
+    for ratio, sigma in variants:
+        for rsize in mode.sizes:
+            for wsize in mode.sizes:
+                trial = run_interference_trial(
+                    profile,
+                    read_size=rsize,
+                    write_size=wsize,
+                    read_fraction=ratio,
+                    sigma=sigma,
+                    duration=mode.duration,
+                    warmup=mode.warmup,
+                    seed=seed,
+                    env=env,
+                )
+                cells[(ratio, sigma, rsize, wsize)] = trial.total_vops_per_sec
+    return Fig4Result(
+        profile=profile_name, mode=mode.name, sizes=tuple(mode.sizes), cells=cells
+    )
+
+
+def render(result: Fig4Result) -> str:
+    blocks = [
+        f"Figure 4 — VOP/s under IO interference, {result.profile} ({result.mode})",
+        f"grid floor = {result.floor / 1e3:.1f} kop/s, peak = {result.peak / 1e3:.1f} kop/s",
+        "",
+    ]
+    col_labels = [size_label(s) for s in result.sizes]
+    row_labels = [size_label(s) for s in reversed(result.sizes)]
+    seen = sorted(
+        {(ratio, sigma) for (ratio, sigma, _r, _w) in result.cells},
+        key=lambda pair: (pair[1] is not None, -(pair[0] if pair[0] is not None else 2), pair[1] or 0),
+    )
+    for ratio, sigma in seen:
+        title = f"{ratio_label(ratio)} read/write"
+        if sigma is not None:
+            title += f", log-normal sigma={size_label(sigma)}"
+        grid = [[v / 1e3 for v in row] for row in result.grid(ratio, sigma)]
+        blocks.append(
+            format_heatmap(
+                row_labels,
+                col_labels,
+                grid,
+                title=f"{title} (rows: write size, cols: read size, kop/s)",
+                lo=result.floor / 1e3,
+                hi=result.peak / 1e3,
+            )
+        )
+        blocks.append("")
+    return "\n".join(blocks)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(render(run(quick=True)))

@@ -1,0 +1,139 @@
+"""Figure 7: per-tenant IOP throughput ratios on three SSDs.
+
+For each (read size, write size) pair, 4 reader tenants and 4 writer
+tenants with *equal VOP allocations* share the device; each tenant's
+IOP throughput ratio is its achieved op/s over its expected share
+(isolated rate / 8).  Expected shape: reader and writer ratios track
+each other closely (VOP allocation translates into proportional
+physical insulation) with MMR ≈ 0.98 on average; under interference
+both drop together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..analysis.metrics import mmr
+from ..analysis.report import format_table
+from ..core.capacity import reference_capacity
+from ..core.tags import OpKind
+from ..ssd import get_profile
+from ..workload.iobench import DeviceEnv, TenantSpec, isolated_iops, run_raw_trial
+from .common import mode_for, size_label
+
+__all__ = ["run", "render", "Fig7Result", "ratio_trial"]
+
+PROFILES = ("intel320", "samsung840", "oczvector")
+
+
+@dataclass
+class CellRatios:
+    read_ratio: float
+    write_ratio: float
+    mmr: float
+    ratios: Dict[str, float]
+
+
+@dataclass
+class Fig7Result:
+    mode: str
+    sizes: Tuple[int, ...]
+    #: (profile, read size, write size) -> ratios
+    cells: Dict[Tuple[str, int, int], CellRatios]
+
+    def mean_mmr(self, profile: str) -> float:
+        values = [c.mmr for (p, _r, _w), c in self.cells.items() if p == profile]
+        return sum(values) / len(values) if values else 0.0
+
+
+def ratio_trial(
+    profile_name: str,
+    read_size: int,
+    write_size: int,
+    env: DeviceEnv,
+    duration: float,
+    warmup: float,
+    seed: int = 7,
+    cost_model: str = "exact",
+) -> CellRatios:
+    """One Fig 7 cell: 4 readers + 4 writers, equal VOP allocations."""
+    profile = get_profile(profile_name)
+    specs = [
+        TenantSpec(f"r{i}", 1.0, read_size=read_size, write_size=write_size)
+        for i in range(4)
+    ] + [
+        TenantSpec(f"w{i}", 0.0, read_size=read_size, write_size=write_size)
+        for i in range(4)
+    ]
+    floor = reference_capacity(profile_name).floor_vops
+    allocations = {s.name: floor / len(specs) for s in specs}
+    trial = run_raw_trial(
+        profile,
+        specs,
+        duration=duration,
+        warmup=warmup,
+        seed=seed,
+        cost_model=cost_model,
+        allocations=allocations,
+        env=env,
+    )
+    ratios = {}
+    for name, tenant in trial.tenants.items():
+        kind = OpKind.READ if tenant.spec.read_fraction == 1.0 else OpKind.WRITE
+        size = read_size if kind == OpKind.READ else write_size
+        expected = isolated_iops(profile_name, kind, size) / len(specs)
+        ratios[name] = tenant.iops_per_sec(trial.duration) / expected
+    readers = [v for k, v in ratios.items() if k.startswith("r")]
+    writers = [v for k, v in ratios.items() if k.startswith("w")]
+    return CellRatios(
+        read_ratio=sum(readers) / len(readers),
+        write_ratio=sum(writers) / len(writers),
+        mmr=mmr(ratios.values()),
+        ratios=ratios,
+    )
+
+
+def run(quick: bool = True, seed: int = 7, profiles: Tuple[str, ...] = PROFILES) -> Fig7Result:
+    """Regenerate Figure 7 over all three device profiles."""
+    mode = mode_for(quick)
+    cells = {}
+    for profile_name in profiles:
+        env = DeviceEnv(get_profile(profile_name), seed=seed)
+        for rsize in mode.sizes:
+            for wsize in mode.sizes:
+                cells[(profile_name, rsize, wsize)] = ratio_trial(
+                    profile_name, rsize, wsize, env, mode.duration, mode.warmup, seed
+                )
+    return Fig7Result(mode=mode.name, sizes=tuple(mode.sizes), cells=cells)
+
+
+def render(result: Fig7Result) -> str:
+    blocks = [f"Figure 7 — IOP throughput ratios, equal VOP allocations ({result.mode})"]
+    profiles = sorted({p for (p, _r, _w) in result.cells})
+    for profile in profiles:
+        rows = []
+        for rsize in result.sizes:
+            for wsize in result.sizes:
+                cell = result.cells[(profile, rsize, wsize)]
+                rows.append(
+                    [
+                        f"R{size_label(rsize)}",
+                        f"W{size_label(wsize)}",
+                        cell.read_ratio,
+                        cell.write_ratio,
+                        cell.mmr,
+                    ]
+                )
+        blocks.append(
+            format_table(
+                ["read", "write", "read ratio", "write ratio", "MMR"],
+                rows,
+                title=f"{profile}: mean tenant MMR = {result.mean_mmr(profile):.3f}",
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(render(run(quick=True)))

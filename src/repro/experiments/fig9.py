@@ -1,0 +1,137 @@
+"""Figure 9: allocation accuracy per cost model.
+
+Reruns the Figure 7 workload grid — plus read-read and write-write
+pairings — under each of the five cost models, and summarizes two
+accuracies per (model, workload class):
+
+- **IOP insulation MMR**: min-max ratio of per-tenant IOP throughput
+  ratios — how well the model's notion of cost translates into fair
+  *physical* throughput;
+- **VOP allocation MMR**: min-max ratio of per-tenant VOP consumption
+  as charged by the scheduler's own model — how faithfully the
+  scheduler enforces the shares it is asked to enforce.
+
+Expected shape: exact and fitted lead both metrics (median ≈ 0.9+ /
+0.98); linear trails on insulation (mid-size deviation); constant keeps
+rough balance but over-charges; fixed skews toward large-IOP tenants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations_with_replacement
+from typing import Dict, List, Tuple
+
+from ..analysis.metrics import mmr, percentile
+from ..analysis.report import format_table
+from ..core.capacity import reference_capacity
+from ..core.tags import OpKind
+from ..core.vop import COST_MODEL_NAMES
+from ..ssd import get_profile
+from ..workload.iobench import DeviceEnv, TenantSpec, isolated_iops, run_raw_trial
+from .common import mode_for
+
+__all__ = ["run", "render", "Fig9Result"]
+
+CATEGORIES = ("rr", "ww", "rw")
+
+
+@dataclass
+class Fig9Result:
+    profile: str
+    mode: str
+    #: (model, category) -> list of (iop insulation MMR, vop alloc MMR)
+    samples: Dict[Tuple[str, str], List[Tuple[float, float]]]
+
+    def summary(self, model: str, category: str, which: int) -> Tuple[float, float, float]:
+        """(median, min, max) of one metric (0=IOP, 1=VOP)."""
+        values = [s[which] for s in self.samples[(model, category)]]
+        return percentile(values, 50), min(values), max(values)
+
+
+def _specs_for(category: str, size_a: int, size_b: int) -> List[TenantSpec]:
+    if category == "rw":
+        return [
+            TenantSpec(f"r{i}", 1.0, read_size=size_a, write_size=size_b)
+            for i in range(4)
+        ] + [
+            TenantSpec(f"w{i}", 0.0, read_size=size_a, write_size=size_b)
+            for i in range(4)
+        ]
+    fraction = 1.0 if category == "rr" else 0.0
+    return [
+        TenantSpec(f"a{i}", fraction, read_size=size_a, write_size=size_a)
+        for i in range(4)
+    ] + [
+        TenantSpec(f"b{i}", fraction, read_size=size_b, write_size=size_b)
+        for i in range(4)
+    ]
+
+
+def _expected(profile_name: str, spec: TenantSpec, n: int) -> float:
+    kind = OpKind.READ if spec.read_fraction == 1.0 else OpKind.WRITE
+    size = spec.read_size if kind == OpKind.READ else spec.write_size
+    return isolated_iops(profile_name, kind, size) / n
+
+
+def run(quick: bool = True, profile_name: str = "intel320", seed: int = 7) -> Fig9Result:
+    """Regenerate Figure 9 (workload grid × five cost models)."""
+    mode = mode_for(quick)
+    profile = get_profile(profile_name)
+    floor = reference_capacity(profile_name).floor_vops
+    samples: Dict[Tuple[str, str], List[Tuple[float, float]]] = {}
+    for model in COST_MODEL_NAMES:
+        env = DeviceEnv(profile, seed=seed)
+        for category in CATEGORIES:
+            pairs: List[Tuple[int, int]] = (
+                [(a, b) for a in mode.sizes for b in mode.sizes]
+                if category == "rw"
+                else list(combinations_with_replacement(mode.sizes, 2))
+            )
+            for size_a, size_b in pairs:
+                specs = _specs_for(category, size_a, size_b)
+                allocations = {s.name: floor / len(specs) for s in specs}
+                trial = run_raw_trial(
+                    profile,
+                    specs,
+                    duration=mode.duration,
+                    warmup=mode.warmup,
+                    seed=seed,
+                    cost_model=model,
+                    allocations=allocations,
+                    env=env,
+                )
+                iop_ratios = [
+                    t.iops_per_sec(trial.duration)
+                    / _expected(profile_name, t.spec, len(specs))
+                    for t in trial.tenants.values()
+                ]
+                vop_rates = [t.vops for t in trial.tenants.values()]
+                samples.setdefault((model, category), []).append(
+                    (mmr(iop_ratios), mmr(vop_rates))
+                )
+    return Fig9Result(profile=profile_name, mode=mode.name, samples=samples)
+
+
+def render(result: Fig9Result) -> str:
+    blocks = [f"Figure 9 — allocation accuracy by cost model, {result.profile} ({result.mode})"]
+    for which, label in ((0, "IOP insulation accuracy (MMR)"), (1, "VOP allocation accuracy (MMR)")):
+        rows = []
+        for model in COST_MODEL_NAMES:
+            row: List[object] = [model]
+            for category in CATEGORIES:
+                med, lo, hi = result.summary(model, category, which)
+                row.append(f"{med:.2f} [{lo:.2f},{hi:.2f}]")
+            rows.append(row)
+        blocks.append(
+            format_table(
+                ["model", "read-read", "write-write", "read-write"],
+                rows,
+                title=label + "  (median [min,max])",
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(render(run(quick=True)))

@@ -1,0 +1,60 @@
+"""Experiment CLI: regenerate any of the paper's figures.
+
+Usage::
+
+    python -m repro.experiments fig4            # quick grid
+    python -m repro.experiments fig9 --full     # the paper's full grid
+    python -m repro.experiments all             # every figure, quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+import time
+from typing import List
+
+__all__ = ["main", "FIGURES"]
+
+FIGURES = (
+    "fig2", "fig3", "fig4", "fig5", "fig6",
+    "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+)
+
+
+def run_figure(name: str, quick: bool, seed: int = None) -> str:
+    """Run one figure module and return its rendered report."""
+    if name not in FIGURES:
+        raise SystemExit(f"unknown figure {name!r}; choose from {', '.join(FIGURES)} or 'all'")
+    module = importlib.import_module(f"repro.experiments.{name}")
+    kwargs = {"quick": quick}
+    if seed is not None:
+        kwargs["seed"] = seed
+    result = module.run(**kwargs)
+    return module.render(result)
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the Libra paper's evaluation figures.",
+    )
+    parser.add_argument("figure", help="fig2..fig12, or 'all'")
+    parser.add_argument(
+        "--full", action="store_true",
+        help="run the paper's full grids (slower) instead of the quick subset",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="override the experiment seed")
+    args = parser.parse_args(argv)
+    names = FIGURES if args.figure == "all" else (args.figure,)
+    for name in names:
+        started = time.time()
+        report = run_figure(name, quick=not args.full, seed=args.seed)
+        print(report)
+        print(f"[{name} completed in {time.time() - started:.0f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

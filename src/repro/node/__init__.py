@@ -1,0 +1,19 @@
+"""Storage node stack: server, cache, tenants, cluster, router."""
+
+from .cache import ObjectCache
+from .cluster import StorageCluster
+from .router import PartitionMap, Router
+from .server import NodeConfig, StorageNode
+from .tenant import LatencyRecorder, RequestStats, TenantDescriptor
+
+__all__ = [
+    "LatencyRecorder",
+    "NodeConfig",
+    "ObjectCache",
+    "PartitionMap",
+    "RequestStats",
+    "Router",
+    "StorageCluster",
+    "StorageNode",
+    "TenantDescriptor",
+]

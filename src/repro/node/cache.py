@@ -1,0 +1,66 @@
+"""Write-through object cache (the protocol layer's cache, Figure 1).
+
+GET hits are served from memory without touching the persistence
+engine; PUTs update the cache and continue to disk (write-through).
+The paper's Fig 10 discussion assumes such a cache upstream, which is
+why IO-bound workloads skew PUT-heavy; experiments here run with the
+cache disabled unless stated, since Libra provisions *disk* IO.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+__all__ = ["ObjectCache"]
+
+
+class ObjectCache:
+    """A byte-bounded LRU of object metadata (key -> size)."""
+
+    def __init__(self, capacity_bytes: int):
+        if capacity_bytes <= 0:
+            raise ValueError(f"cache capacity must be positive, got {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self._entries: "OrderedDict[Tuple[str, int], int]" = OrderedDict()
+        self.bytes = 0
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, tenant: str, key: int) -> Optional[int]:
+        """Cached object size, or None on miss. Refreshes recency."""
+        entry = self._entries.get((tenant, key))
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end((tenant, key))
+        self.hits += 1
+        return entry
+
+    def put(self, tenant: str, key: int, size: int) -> None:
+        """Insert/refresh an object, evicting LRU entries as needed."""
+        if size > self.capacity_bytes:
+            self.invalidate(tenant, key)
+            return
+        old = self._entries.pop((tenant, key), None)
+        if old is not None:
+            self.bytes -= old
+        self._entries[(tenant, key)] = size
+        self.bytes += size
+        while self.bytes > self.capacity_bytes:
+            _evicted_key, evicted_size = self._entries.popitem(last=False)
+            self.bytes -= evicted_size
+
+    def invalidate(self, tenant: str, key: int) -> None:
+        """Drop an object (DELETE path)."""
+        old = self._entries.pop((tenant, key), None)
+        if old is not None:
+            self.bytes -= old
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

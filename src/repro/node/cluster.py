@@ -1,0 +1,229 @@
+"""Multi-node shared key-value storage (the Pisces-lite layer).
+
+``StorageCluster`` stands in for the system-wide policies of §2.1: it
+places tenant partitions across nodes, splits each tenant's *global*
+reservation into local per-node reservations proportional to the
+partitions hosted there, and collects the overflow notifications Libra
+emits when a node's reservations exceed its provisionable capacity —
+the signal a real deployment would use to migrate partitions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from ..core.policy import OverflowReport, Reservation
+from ..engine import EngineConfig
+from ..sim import Simulator
+from ..ssd import SsdProfile
+from .router import PartitionMap, Router
+from .server import NodeConfig, StorageNode
+
+__all__ = ["StorageCluster"]
+
+
+class StorageCluster:
+    """A set of storage nodes plus routing and reservation splitting."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        n_nodes: int = 2,
+        profile: Union[str, SsdProfile] = "intel320",
+        config: Optional[NodeConfig] = None,
+        partitions_per_tenant: int = 8,
+        seed: int = 0,
+    ):
+        if n_nodes < 1:
+            raise ValueError("cluster needs at least one node")
+        self.sim = sim
+        self.nodes: Dict[str, StorageNode] = {}
+        self.overflows: List[OverflowReport] = []
+        for i in range(n_nodes):
+            name = f"node{i}"
+            self.nodes[name] = StorageNode(
+                sim,
+                profile=profile,
+                config=config,
+                seed=seed + i,
+                name=name,
+                on_overflow=self.overflows.append,
+            )
+        self.partition_map = PartitionMap(partitions_per_tenant)
+        self.router = Router(self.nodes, self.partition_map)
+        self._global_reservations: Dict[str, Reservation] = {}
+
+    # -- tenant management -------------------------------------------------------
+
+    def add_tenant(
+        self,
+        tenant: str,
+        reservation: Reservation,
+        engine_config: Optional[EngineConfig] = None,
+    ) -> None:
+        """Place a tenant everywhere and split its global reservation.
+
+        Local reservations are proportional to the number of partitions
+        each node hosts (uniform demand assumption — the DynamoDB-style
+        contract; Pisces would adapt these weights dynamically).
+        """
+        self._global_reservations[tenant] = reservation
+        node_names = list(self.nodes)
+        self.partition_map.place_tenant(tenant, node_names)
+        total = self.partition_map.partitions_per_tenant
+        for name, node in self.nodes.items():
+            share = self.partition_map.partitions_on(tenant, name) / total
+            node.add_tenant(
+                tenant,
+                Reservation(
+                    gets=reservation.gets * share, puts=reservation.puts * share
+                ),
+                engine_config=engine_config,
+            )
+
+    def global_reservation(self, tenant: str) -> Reservation:
+        return self._global_reservations[tenant]
+
+    # -- client API ----------------------------------------------------------------
+
+    def get(self, tenant: str, key: int):
+        """Route a GET to the owning node (drive with ``yield from``)."""
+        return self.router.get(tenant, key)
+
+    def put(self, tenant: str, key: int, size: int):
+        return self.router.put(tenant, key, size)
+
+    def delete(self, tenant: str, key: int):
+        return self.router.delete(tenant, key)
+
+    # -- reservation redistribution (the §2.1 higher-level policy) ---------------------
+
+    def redistribute_reservations(self, margin: float = 0.95) -> int:
+        """Shift local reservations off overbooked nodes.
+
+        For every node whose estimated VOP demand exceeds ``margin`` ×
+        its provisionable capacity (the condition under which Libra
+        scales allocations down and signals overflow), each tenant's
+        local reservation is shaved proportionally to fit, and the
+        shaved request rates are added to the tenant's least-loaded
+        other node.  This is the "redistribute local reservations"
+        response the paper delegates to Pisces-style policies; partition
+        *migration* (moving the data itself) is out of scope here, so a
+        receiving node serves the extra reservation only to the extent
+        requests reach it.
+
+        Returns the number of (tenant, node→node) moves performed.
+        """
+        if not 0 < margin <= 1.0:
+            raise ValueError(f"margin {margin} not in (0, 1]")
+        moves = 0
+        demands = {
+            name: node.policy.estimated_demand() for name, node in self.nodes.items()
+        }
+        totals = {name: sum(d.values()) for name, d in demands.items()}
+        budgets = {
+            name: node.capacity_vops * margin for name, node in self.nodes.items()
+        }
+        # Process the most overloaded nodes first, moving residuals only
+        # into remaining *headroom* so a receiver is never pushed over
+        # its own budget (no intra-pass ping-pong).
+        overloaded = sorted(
+            (name for name in self.nodes if totals[name] > budgets[name]),
+            key=lambda name: budgets[name] - totals[name],
+        )
+        for name in overloaded:
+            node = self.nodes[name]
+            total = totals[name]
+            budget = budgets[name]
+            if total <= budget:
+                continue
+            keep = budget / total
+            for tenant in list(node.tenants):
+                local = node.policy.reservation(tenant)
+                residual = Reservation(
+                    gets=local.gets * (1.0 - keep), puts=local.puts * (1.0 - keep)
+                )
+                node.set_reservation(
+                    tenant, Reservation(gets=local.gets * keep, puts=local.puts * keep)
+                )
+                demand_shift = demands[name].get(tenant, 0.0) * (1.0 - keep)
+                totals[name] -= demand_shift
+                target = self._most_headroom_other(tenant, name, totals, budgets)
+                if target is None:
+                    # Nowhere to put it: the reservation stays here (the
+                    # local policy will keep scaling it down until a
+                    # partition migration resolves the hotspot).
+                    node.set_reservation(tenant, local)
+                    totals[name] += demand_shift
+                    continue
+                headroom = budgets[target] - totals[target]
+                accept = min(1.0, headroom / demand_shift) if demand_shift > 0 else 1.0
+                if accept < 1.0:
+                    # Partially return what the target cannot absorb.
+                    returned = 1.0 - accept
+                    base = node.policy.reservation(tenant)
+                    node.set_reservation(
+                        tenant,
+                        Reservation(
+                            gets=base.gets + residual.gets * returned,
+                            puts=base.puts + residual.puts * returned,
+                        ),
+                    )
+                    totals[name] += demand_shift * returned
+                target_node = self.nodes[target]
+                current = target_node.policy.reservation(tenant)
+                target_node.set_reservation(
+                    tenant,
+                    Reservation(
+                        gets=current.gets + residual.gets * accept,
+                        puts=current.puts + residual.puts * accept,
+                    ),
+                )
+                totals[target] += demand_shift * accept
+                moves += 1
+        return moves
+
+    def _most_headroom_other(
+        self,
+        tenant: str,
+        exclude: str,
+        totals: Dict[str, float],
+        budgets: Dict[str, float],
+    ):
+        candidates = [
+            name
+            for name in self.partition_map.nodes_of(tenant)
+            if name != exclude and budgets[name] - totals[name] > 0
+        ]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda name: budgets[name] - totals[name])
+
+    def start_auto_rebalance(self, interval: float = 5.0) -> None:
+        """Run ``redistribute_reservations`` periodically."""
+
+        def loop():
+            while True:
+                yield self.sim.timeout(interval)
+                self.redistribute_reservations()
+
+        self.sim.process(loop(), name="cluster.rebalance")
+
+    # -- aggregation ------------------------------------------------------------------
+
+    def total_stats(self, tenant: str):
+        """System-wide request stats for a tenant (summed over nodes)."""
+        from .tenant import RequestStats
+
+        total = RequestStats()
+        for node in self.nodes.values():
+            stats = node.request_stats.get(tenant)
+            if stats is None:
+                continue
+            for field in vars(total):
+                setattr(total, field, getattr(total, field) + getattr(stats, field))
+        return total
+
+    def stop(self) -> None:
+        for node in self.nodes.values():
+            node.stop()

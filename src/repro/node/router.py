@@ -1,0 +1,88 @@
+"""Partitioning and request routing (the left side of Figure 1).
+
+Tenant keyspaces are split into fixed partitions mapped onto storage
+nodes.  The router is the client-side component that sends each request
+to the node owning its partition.  This is deliberately the *simple*
+version of the system-wide layer — the paper delegates dynamic
+placement and weight distribution to Pisces and focuses on the per-node
+mechanism — but it is enough to run multi-node experiments and to
+exercise reservation splitting and overflow signalling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+__all__ = ["PartitionMap", "Router"]
+
+
+@dataclass(frozen=True)
+class Partition:
+    """One tenant keyspace shard."""
+
+    tenant: str
+    index: int
+    node: str
+
+
+class PartitionMap:
+    """Static hash partitioning of tenant keyspaces over nodes."""
+
+    def __init__(self, partitions_per_tenant: int = 8):
+        if partitions_per_tenant < 1:
+            raise ValueError("need at least one partition per tenant")
+        self.partitions_per_tenant = partitions_per_tenant
+        self._map: Dict[str, List[Partition]] = {}
+
+    def place_tenant(self, tenant: str, nodes: List[str]) -> None:
+        """Assign the tenant's partitions round-robin over ``nodes``."""
+        if not nodes:
+            raise ValueError("no nodes to place on")
+        self._map[tenant] = [
+            Partition(tenant, i, nodes[i % len(nodes)])
+            for i in range(self.partitions_per_tenant)
+        ]
+
+    def partition_of(self, tenant: str, key: int) -> Partition:
+        partitions = self._map.get(tenant)
+        if partitions is None:
+            raise KeyError(f"tenant {tenant!r} not placed")
+        return partitions[key % self.partitions_per_tenant]
+
+    def node_of(self, tenant: str, key: int) -> str:
+        return self.partition_of(tenant, key).node
+
+    def nodes_of(self, tenant: str) -> List[str]:
+        """Distinct nodes hosting this tenant, in placement order."""
+        seen: Dict[str, None] = {}
+        for p in self._map.get(tenant, []):
+            seen.setdefault(p.node, None)
+        return list(seen)
+
+    def partitions_on(self, tenant: str, node: str) -> int:
+        """How many of the tenant's partitions live on ``node``."""
+        return sum(1 for p in self._map.get(tenant, []) if p.node == node)
+
+
+class Router:
+    """Routes (tenant, key) requests to the owning node's API."""
+
+    def __init__(self, nodes: Dict[str, "StorageNode"], partition_map: PartitionMap):  # noqa: F821
+        self.nodes = nodes
+        self.partition_map = partition_map
+
+    def node_for(self, tenant: str, key: int):
+        name = self.partition_map.node_of(tenant, key)
+        return self.nodes[name]
+
+    # Generator pass-throughs so client code routes transparently.
+
+    def get(self, tenant: str, key: int):
+        return self.node_for(tenant, key).get(tenant, key)
+
+    def put(self, tenant: str, key: int, size: int):
+        return self.node_for(tenant, key).put(tenant, key, size)
+
+    def delete(self, tenant: str, key: int):
+        return self.node_for(tenant, key).delete(tenant, key)

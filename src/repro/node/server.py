@@ -1,0 +1,220 @@
+"""The storage node: protocol layer → cache → engines → Libra → SSD.
+
+``StorageNode`` assembles the full per-node stack of Figure 1: one
+simulated SSD, one Libra scheduler with its tracker and resource
+policy, a shared filesystem, and one LSM engine per tenant partition.
+Tenant requests enter through :meth:`get`/:meth:`put`/:meth:`delete`
+(driven with ``yield from`` inside DES processes), are served by the
+tenant's engine through tagged IO, and are counted in normalized (1 KB)
+units so achieved throughput is directly comparable to reservations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Union
+
+from ..core.capacity import CapacityModel, reference_capacity, stack_floor
+from ..core.calibration import reference_calibration
+from ..core.policy import OverflowReport, Reservation, ResourcePolicy
+from ..core.scheduler import LibraScheduler, SchedulerConfig
+from ..core.tags import IoTag, RequestClass
+from ..core.tracker import ResourceTracker
+from ..core.vop import CostModel, make_cost_model
+from ..engine import EngineConfig, LsmEngine
+from ..sim import Simulator
+from ..ssd import SimFilesystem, SsdDevice, SsdProfile, get_profile
+from .cache import ObjectCache
+from .tenant import LatencyRecorder, RequestStats, TenantDescriptor
+
+__all__ = ["NodeConfig", "StorageNode"]
+
+MIB = 1024 * 1024
+
+
+@dataclass
+class NodeConfig:
+    """Per-node assembly options."""
+
+    cost_model: str = "exact"
+    #: None -> use the profile's reference capacity floor
+    capacity_vops: Optional[float] = None
+    policy_interval: float = 1.0
+    #: the Fig 11 ablation switch: False = "No Profile" provisioning
+    track_indirect: bool = True
+    #: object cache size; 0 disables (IO-bound evaluation default)
+    cache_bytes: int = 0
+    engine: EngineConfig = None  # type: ignore[assignment]
+    scheduler: Optional[SchedulerConfig] = None
+
+    def __post_init__(self):
+        if self.engine is None:
+            self.engine = EngineConfig()
+
+
+class StorageNode:
+    """A single shared-storage node running Libra."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        profile: Union[str, SsdProfile] = "intel320",
+        config: Optional[NodeConfig] = None,
+        seed: int = 0,
+        name: str = "node0",
+        on_overflow: Optional[Callable[[OverflowReport], None]] = None,
+    ):
+        self.sim = sim
+        self.name = name
+        self.profile = get_profile(profile) if isinstance(profile, str) else profile
+        self.config = config or NodeConfig()
+        self.device = SsdDevice(sim, self.profile, seed=seed)
+        calibration = reference_calibration(self.profile)
+        self.cost_model: CostModel = make_cost_model(self.config.cost_model, calibration)
+        self.tracker = ResourceTracker()
+        self.scheduler = LibraScheduler(
+            sim,
+            self.device,
+            self.cost_model,
+            config=self.config.scheduler,
+            io_observer=self.tracker.note_io,
+        )
+        self.fs = SimFilesystem(sim, self.scheduler, capacity=self.profile.logical_capacity)
+        capacity = self.config.capacity_vops
+        if capacity is None:
+            # Provision against the stack-aware floor: the raw-IO floor
+            # overestimates what app-request workloads (with their
+            # FLUSH/COMPACT secondary IO) can sustain.
+            capacity = stack_floor(self.profile.name)
+        self.capacity_vops = capacity
+        self.policy = ResourcePolicy(
+            sim,
+            self.scheduler,
+            self.tracker,
+            capacity_vops=capacity,
+            interval=self.config.policy_interval,
+            track_indirect=self.config.track_indirect,
+            on_overflow=on_overflow,
+        )
+        self.cache = (
+            ObjectCache(self.config.cache_bytes) if self.config.cache_bytes > 0 else None
+        )
+        self.tenants: Dict[str, TenantDescriptor] = {}
+        self.engines: Dict[str, LsmEngine] = {}
+        self.request_stats: Dict[str, RequestStats] = {}
+        self.latencies: Dict[str, LatencyRecorder] = {}
+
+    # -- tenant lifecycle ------------------------------------------------------
+
+    def add_tenant(
+        self,
+        name: str,
+        reservation: Optional[Reservation] = None,
+        engine_config: Optional[EngineConfig] = None,
+    ) -> TenantDescriptor:
+        """Register a tenant: scheduler principal + engine partition."""
+        if name in self.tenants:
+            raise ValueError(f"tenant {name!r} already on {self.name}")
+        descriptor = TenantDescriptor(name, reservation or Reservation())
+        self.scheduler.register_tenant(name)
+        self.policy.set_reservation(name, descriptor.reservation)
+        self.engines[name] = LsmEngine(
+            self.sim,
+            self.fs,
+            name,
+            config=engine_config or self.config.engine,
+            tracker=self.tracker,
+        )
+        self.tenants[name] = descriptor
+        self.request_stats[name] = RequestStats()
+        self.latencies[name] = LatencyRecorder()
+        return descriptor
+
+    def set_reservation(self, name: str, reservation: Reservation) -> None:
+        """Update a tenant's local app-request reservation."""
+        descriptor = self._descriptor(name)
+        self.tenants[name] = TenantDescriptor(name, reservation)
+        self.policy.set_reservation(name, reservation)
+
+    def engine(self, name: str) -> LsmEngine:
+        return self.engines[name]
+
+    def stats(self, name: str) -> RequestStats:
+        """Live app-level request counters for a tenant."""
+        return self.request_stats[name]
+
+    def _descriptor(self, name: str) -> TenantDescriptor:
+        try:
+            return self.tenants[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown tenant {name!r} on {self.name}; have {list(self.tenants)}"
+            ) from None
+
+    # -- request API (drive with ``yield from``) ----------------------------------
+
+    def get(self, tenant: str, key: int):
+        """GET: cache, then the tenant's LSM engine. Returns size or None."""
+        self._descriptor(tenant)
+        started = self.sim.now
+        if self.cache is not None:
+            cached = self.cache.get(tenant, key)
+            if cached is not None:
+                self.request_stats[tenant].cache_hits += 1
+                self._account(tenant, "get", cached, RequestClass.GET, started)
+                return cached
+        size = yield from self.engines[tenant].get(
+            key, tag=IoTag(tenant, RequestClass.GET)
+        )
+        if size is not None and self.cache is not None:
+            self.cache.put(tenant, key, size)
+        self._account(tenant, "get", size or 1024, RequestClass.GET, started)
+        return size
+
+    def put(self, tenant: str, key: int, size: int):
+        """PUT: write-through cache update + durable engine write."""
+        self._descriptor(tenant)
+        started = self.sim.now
+        yield from self.engines[tenant].put(key, size, tag=IoTag(tenant, RequestClass.PUT))
+        if self.cache is not None:
+            self.cache.put(tenant, key, size)
+        self._account(tenant, "put", size, RequestClass.PUT, started)
+
+    def scan(self, tenant: str, lo: int, hi: int, limit=None):
+        """Range scan via the tenant's engine.
+
+        Returned bytes are accounted as normalized GET units (the
+        natural extension of the size-normalized request contract).
+        """
+        self._descriptor(tenant)
+        started = self.sim.now
+        results = yield from self.engines[tenant].scan(
+            lo, hi, tag=IoTag(tenant, RequestClass.GET), limit=limit
+        )
+        total_bytes = sum(size for _key, size in results) or 1024
+        self._account(tenant, "get", total_bytes, RequestClass.GET, started)
+        return results
+
+    def delete(self, tenant: str, key: int):
+        """DELETE: tombstone write; invalidates the cache."""
+        self._descriptor(tenant)
+        started = self.sim.now
+        yield from self.engines[tenant].delete(key, tag=IoTag(tenant, RequestClass.DELETE))
+        if self.cache is not None:
+            self.cache.invalidate(tenant, key)
+        self._account(tenant, "delete", 1024, RequestClass.DELETE, started)
+
+    def _account(
+        self, tenant: str, kind: str, size: int, request: RequestClass, started: float
+    ) -> None:
+        self.request_stats[tenant].note(kind, size)
+        self.latencies[tenant].record(kind, self.sim.now - started)
+        if request in (RequestClass.GET, RequestClass.PUT):
+            self.tracker.note_request(tenant, request, size)
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def stop(self) -> None:
+        """Stop the node's periodic loops (policy + scheduler ticker)."""
+        self.policy.stop()
+        self.scheduler.stop()

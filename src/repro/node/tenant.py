@@ -1,0 +1,96 @@
+"""Tenant descriptors and per-tenant request accounting."""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict
+
+import numpy as np
+
+from ..core.policy import Reservation
+from ..core.tracker import NORMALIZED_REQUEST_BYTES
+
+__all__ = ["TenantDescriptor", "RequestStats", "LatencyRecorder"]
+
+
+class LatencyRecorder:
+    """Bounded reservoir of recent request latencies (seconds).
+
+    Keeps the newest ``capacity`` samples per request kind, enough for
+    stable means and tail percentiles without unbounded memory.
+    """
+
+    def __init__(self, capacity: int = 2048):
+        if capacity < 1:
+            raise ValueError("latency reservoir needs capacity >= 1")
+        self.capacity = capacity
+        self._samples: Dict[str, Deque[float]] = {}
+        self._count: Dict[str, int] = {}
+        self._sum: Dict[str, float] = {}
+
+    def record(self, kind: str, latency: float) -> None:
+        bucket = self._samples.setdefault(kind, deque(maxlen=self.capacity))
+        bucket.append(latency)
+        self._count[kind] = self._count.get(kind, 0) + 1
+        self._sum[kind] = self._sum.get(kind, 0.0) + latency
+
+    def count(self, kind: str) -> int:
+        return self._count.get(kind, 0)
+
+    def mean(self, kind: str) -> float:
+        """Lifetime mean latency for a request kind (0 if none)."""
+        n = self._count.get(kind, 0)
+        return self._sum.get(kind, 0.0) / n if n else 0.0
+
+    def percentile(self, kind: str, pct: float) -> float:
+        """Percentile over the retained (recent) samples."""
+        bucket = self._samples.get(kind)
+        if not bucket:
+            return 0.0
+        return float(np.percentile(np.fromiter(bucket, dtype=float), pct))
+
+
+@dataclass(frozen=True)
+class TenantDescriptor:
+    """A tenant known to a storage node."""
+
+    name: str
+    reservation: Reservation = field(default_factory=Reservation)
+
+
+@dataclass
+class RequestStats:
+    """App-level request throughput counters for one tenant.
+
+    Units are size-normalized (1 KB) requests, the same currency as
+    reservations; raw request counts are kept alongside.
+    """
+
+    gets: int = 0
+    puts: int = 0
+    deletes: int = 0
+    get_units: float = 0.0
+    put_units: float = 0.0
+    cache_hits: int = 0
+
+    def note(self, kind: str, size: int) -> None:
+        units = max(size / NORMALIZED_REQUEST_BYTES, 1.0)
+        if kind == "get":
+            self.gets += 1
+            self.get_units += units
+        elif kind == "put":
+            self.puts += 1
+            self.put_units += units
+        elif kind == "delete":
+            self.deletes += 1
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown request kind {kind!r}")
+
+    def snapshot(self) -> "RequestStats":
+        return RequestStats(**vars(self))
+
+    def delta(self, earlier: "RequestStats") -> "RequestStats":
+        return RequestStats(
+            **{k: getattr(self, k) - getattr(earlier, k) for k in vars(self)}
+        )

@@ -1,0 +1,34 @@
+"""Discrete-event simulation kernel for the Libra reproduction.
+
+All timing-sensitive components (SSD model, LSM engine background work,
+the Libra scheduler) run as processes on this kernel in simulated time,
+sidestepping Python interpreter overhead entirely.
+"""
+
+from .core import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from .resources import Store
+from .sync import Condition, Mutex, Semaphore
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "Event",
+    "Interrupt",
+    "Mutex",
+    "Process",
+    "Semaphore",
+    "SimulationError",
+    "Simulator",
+    "Store",
+    "Timeout",
+]

@@ -1,0 +1,387 @@
+"""Discrete-event simulation kernel.
+
+Everything in this reproduction runs in *simulated* time: the SSD device
+model, the LSM engine's background FLUSH/COMPACT processes, and the Libra
+scheduler itself.  The paper's user-space C library multiplexes tenant IO
+tasks with coroutines; this kernel plays the same role using Python
+generators as processes.  A process is a generator that yields
+:class:`Event` objects and is resumed when the yielded event triggers.
+
+The kernel is deterministic: events scheduled for the same timestamp fire
+in schedule order (a monotonically increasing sequence number breaks
+ties), so a given seed always produces the same trajectory.
+
+Example
+-------
+>>> sim = Simulator()
+>>> def hello(sim, log):
+...     yield sim.timeout(5.0)
+...     log.append(sim.now)
+>>> log = []
+>>> _ = sim.process(hello(sim, log))
+>>> sim.run()
+>>> log
+[5.0]
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "AnyOf",
+    "AllOf",
+    "Simulator",
+    "SimulationError",
+]
+
+
+class SimulationError(Exception):
+    """Raised for kernel-level misuse (e.g. triggering an event twice)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    The interrupting party supplies ``cause``, which the interrupted
+    process can inspect to decide how to clean up.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    Events start untriggered.  Calling :meth:`succeed` or :meth:`fail`
+    triggers them, after which their callbacks run (in the simulator
+    loop, at the current simulated time).  Yielding an event from a
+    process suspends that process until the event triggers.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_scheduled")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._triggered = False
+        self._scheduled = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been succeeded or failed."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's payload (or exception, if it failed)."""
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with an optional payload."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        Processes waiting on the event will have the exception thrown
+        into them at their yield point.
+        """
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        if self._triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._triggered = True
+        self._ok = False
+        self._value = exception
+        self.sim._schedule(self)
+        return self
+
+    def __repr__(self) -> str:
+        state = "triggered" if self._triggered else "pending"
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` simulated seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        sim._schedule(self, delay)
+
+
+class Process(Event):
+    """A running generator, driven by the events it yields.
+
+    The process is itself an event: it triggers when the generator
+    returns (succeeding with the return value) or raises (failing with
+    the exception).  This is what makes ``result = yield sim.process(...)``
+    and process joining work.
+    """
+
+    __slots__ = ("_generator", "_waiting_on", "name")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+        super().__init__(sim)
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        # Kick off the process at the current time via an immediate event.
+        start = Event(sim)
+        start._triggered = True
+        start._ok = True
+        start.callbacks = None  # never used; we resume directly
+        sim._schedule_call(self._resume, start)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        A finished process cannot be interrupted; doing so raises
+        :class:`SimulationError` to surface the race to the caller.
+        """
+        if self._triggered:
+            raise SimulationError(f"cannot interrupt finished process {self.name}")
+        waiting = self._waiting_on
+        if waiting is not None and not waiting.processed:
+            # Detach from the event we were waiting on so its eventual
+            # trigger does not resume us a second time.
+            if waiting.callbacks is not None and self._resume_cb in waiting.callbacks:
+                waiting.callbacks.remove(self._resume_cb)
+        self._waiting_on = None
+        fake = Event(self.sim)
+        fake._triggered = True
+        fake._ok = False
+        fake._value = Interrupt(cause)
+        self.sim._schedule_call(self._resume, fake)
+
+    # -- internals ---------------------------------------------------------
+
+    def _resume_cb(self, event: Event) -> None:
+        self._resume(event)
+
+    def _resume(self, event: Event) -> None:
+        if self._triggered:  # interrupted after completion race; drop
+            return
+        self._waiting_on = None
+        try:
+            if event.ok:
+                target = self._generator.send(event.value)
+            else:
+                target = self._generator.throw(event.value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - process died
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            exc = SimulationError(
+                f"process {self.name!r} yielded {target!r}, expected an Event"
+            )
+            try:
+                self._generator.throw(exc)
+            except BaseException as err:  # noqa: BLE001
+                self.fail(err)
+            return
+        self._waiting_on = target
+        if target.processed:
+            # Already triggered and callbacks ran: resume at current time.
+            self.sim._schedule_call(self._resume, target)
+        elif target.callbacks is not None:
+            target.callbacks.append(self._resume_cb)
+        else:  # pragma: no cover - defensive
+            self.sim._schedule_call(self._resume, target)
+
+
+class _MultiEvent(Event):
+    """Base for AnyOf/AllOf composition events."""
+
+    __slots__ = ("events", "_pending")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        self._pending = 0
+        if not self.events:
+            self.succeed({})
+            return
+        for ev in self.events:
+            if ev.processed:
+                self.sim._schedule_call(self._check, ev)
+                self._pending += 1
+            elif ev.callbacks is not None:
+                ev.callbacks.append(self._check)
+                self._pending += 1
+            else:  # pragma: no cover - defensive
+                self.sim._schedule_call(self._check, ev)
+                self._pending += 1
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AnyOf(_MultiEvent):
+    """Triggers when any member event triggers.
+
+    Succeeds with a dict mapping the triggered events to their values.
+    Fails if the first member to trigger failed.
+    """
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        # Use .processed, not .triggered: a pending Timeout counts as
+        # triggered from creation, but only fires once its callbacks run.
+        self.succeed({ev: ev.value for ev in self.events if ev.processed and ev.ok})
+
+
+class AllOf(_MultiEvent):
+    """Triggers when every member event has triggered.
+
+    Succeeds with a dict mapping all events to their values; fails as
+    soon as any member fails.
+    """
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed({ev: ev.value for ev in self.events})
+
+
+class Simulator:
+    """The event loop: a priority queue of (time, sequence, action).
+
+    All simulated components share one :class:`Simulator`.  Time is a
+    float in seconds.  ``run(until=...)`` executes events in timestamp
+    order until the queue empties or the horizon is reached.
+    """
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._heap: list = []
+        self._seq = 0
+
+    # -- public API --------------------------------------------------------
+
+    def event(self) -> Event:
+        """Create an untriggered event bound to this simulator."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Start a new process driving ``generator``."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that triggers when any of ``events`` does."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that triggers when all of ``events`` have."""
+        return AllOf(self, events)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Execute events in order until the horizon (or queue drain).
+
+        When ``until`` is given, time is advanced exactly to ``until``
+        even if the last event fires earlier, so back-to-back ``run``
+        calls observe a continuous clock.
+        """
+        while self._heap:
+            at, _seq, fn, arg = self._heap[0]
+            if until is not None and at > until:
+                break
+            heapq.heappop(self._heap)
+            self.now = at
+            fn(arg)
+        if until is not None and until > self.now:
+            self.now = until
+
+    def step(self) -> bool:
+        """Execute a single queued action. Returns False when empty."""
+        if not self._heap:
+            return False
+        at, _seq, fn, arg = heapq.heappop(self._heap)
+        self.now = at
+        fn(arg)
+        return True
+
+    @property
+    def queue_size(self) -> int:
+        """Number of pending queued actions (diagnostics only)."""
+        return len(self._heap)
+
+    # -- internals ---------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        """Queue an event's callback dispatch ``delay`` seconds from now."""
+        if event._scheduled:
+            return
+        event._scheduled = True
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, self._dispatch, event))
+
+    def _schedule_call(self, fn: Callable, arg: Any, delay: float = 0.0) -> None:
+        """Queue an arbitrary callable (used to resume processes)."""
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, fn, arg))
+
+    @staticmethod
+    def _dispatch(event: Event) -> None:
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks:
+            for callback in callbacks:
+                callback(event)

@@ -1,0 +1,26 @@
+"""Simulated SSD substrate: device model, FTL, profiles, filesystem."""
+
+from .device import SsdDevice
+from .filesystem import IoBackend, OutOfSpace, RawBackend, SimFile, SimFilesystem
+from .ftl import Ftl, GcMove, WritePlan
+from .profiles import PROFILES, SsdProfile, get_profile, intel320, oczvector, samsung840
+from .stats import SsdStats
+
+__all__ = [
+    "Ftl",
+    "GcMove",
+    "IoBackend",
+    "OutOfSpace",
+    "PROFILES",
+    "RawBackend",
+    "SimFile",
+    "SimFilesystem",
+    "SsdDevice",
+    "SsdProfile",
+    "SsdStats",
+    "WritePlan",
+    "get_profile",
+    "intel320",
+    "oczvector",
+    "samsung840",
+]

@@ -1,0 +1,240 @@
+"""Minimal extent-based filesystem over the simulated SSD.
+
+The persistence engine needs append-only files (WAL, SSTables) that can
+be created, appended, read at arbitrary offsets, and deleted.  Real
+Libra runs over ext4 with O_DIRECT; the paper folds filesystem overhead
+into the device cost model, so this layer is deliberately thin: it maps
+file-relative offsets onto logical device extents and turns deletes into
+TRIMs (which is what makes LSM file deletion cheap for the FTL).
+
+The filesystem issues IO through an *IO backend* — either the raw device
+or a Libra scheduler — so the engine's IO can be interposed exactly as
+in the paper (§5's system-call wrappers).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Optional, Protocol, Tuple
+
+from ..sim import Event, Simulator
+
+__all__ = ["IoBackend", "RawBackend", "SimFile", "SimFilesystem", "OutOfSpace"]
+
+
+class OutOfSpace(Exception):
+    """Raised when the volume cannot satisfy an allocation."""
+
+
+class IoBackend(Protocol):
+    """What the filesystem needs from the IO layer below it.
+
+    ``tag`` carries the Libra IO task tag (tenant + app-request +
+    internal op); the raw backend ignores it.
+    """
+
+    def read(self, offset: int, size: int, tag=None) -> Event: ...
+
+    def write(self, offset: int, size: int, tag=None) -> Event: ...
+
+    def trim(self, offset: int, size: int) -> None: ...
+
+
+class RawBackend:
+    """Pass-through backend: straight to the device, no scheduling."""
+
+    def __init__(self, device):
+        self.device = device
+
+    def read(self, offset: int, size: int, tag=None) -> Event:
+        return self.device.read(offset, size)
+
+    def write(self, offset: int, size: int, tag=None) -> Event:
+        return self.device.write(offset, size)
+
+    def trim(self, offset: int, size: int) -> None:
+        self.device.trim(offset, size)
+
+
+class SimFile:
+    """An append-only file: a list of device extents plus a byte size."""
+
+    __slots__ = ("fs", "name", "extents", "_starts", "size", "deleted")
+
+    def __init__(self, fs: "SimFilesystem", name: str):
+        self.fs = fs
+        self.name = name
+        self.extents: List[Tuple[int, int]] = []  # (device offset, length)
+        self._starts: List[int] = []  # cumulative file offsets of extents
+        self.size = 0
+        self.deleted = False
+
+    def __repr__(self) -> str:
+        return f"<SimFile {self.name} size={self.size}>"
+
+    def _check_live(self) -> None:
+        if self.deleted:
+            raise ValueError(f"IO on deleted file {self.name}")
+
+    def append(self, size: int, tag=None) -> Event:
+        """Append ``size`` bytes; returns the write-completion event."""
+        self._check_live()
+        if size <= 0:
+            raise ValueError(f"append size must be positive, got {size}")
+        segments = self.fs._extend(self, size)
+        events = [self.fs.backend.write(off, length, tag=tag) for off, length in segments]
+        self.size += size
+        if len(events) == 1:
+            return events[0]
+        return self.fs.sim.all_of(events)
+
+    def read(self, offset: int, size: int, tag=None) -> Event:
+        """Read ``size`` bytes at file offset ``offset``."""
+        self._check_live()
+        if offset < 0 or size <= 0 or offset + size > self.size:
+            raise ValueError(
+                f"read [{offset}, {offset + size}) out of bounds for "
+                f"{self.name} (size {self.size})"
+            )
+        events = [
+            self.fs.backend.read(dev_off, length, tag=tag)
+            for dev_off, length in self._map(offset, size)
+        ]
+        if len(events) == 1:
+            return events[0]
+        return self.fs.sim.all_of(events)
+
+    def _map(self, offset: int, size: int) -> List[Tuple[int, int]]:
+        """Translate a file-relative range to device (offset, length) runs."""
+        out = []
+        remaining = size
+        idx = bisect.bisect_right(self._starts, offset) - 1
+        pos = offset
+        while remaining > 0:
+            ext_start = self._starts[idx]
+            dev_off, ext_len = self.extents[idx]
+            within = pos - ext_start
+            take = min(remaining, ext_len - within)
+            out.append((dev_off + within, take))
+            remaining -= take
+            pos += take
+            idx += 1
+        return out
+
+
+class SimFilesystem:
+    """First-fit extent allocator over the device's logical space."""
+
+    #: Files grow in allocation chunks to keep extents coarse.
+    ALLOC_CHUNK = 1 * 1024 * 1024
+
+    def __init__(self, sim: Simulator, backend: IoBackend, capacity: int, page_size: int = 4096):
+        if capacity % page_size:
+            raise ValueError("capacity must be page-aligned")
+        self.sim = sim
+        self.backend = backend
+        self.page_size = page_size
+        self.capacity = capacity
+        self._free: List[Tuple[int, int]] = [(0, capacity)]  # sorted by offset
+        self._files = {}
+        self._seq = 0
+
+    # -- file lifecycle --------------------------------------------------------
+
+    def create(self, name: Optional[str] = None) -> SimFile:
+        """Create an empty file (no space allocated until first append)."""
+        if name is None:
+            self._seq += 1
+            name = f"file-{self._seq}"
+        if name in self._files:
+            raise ValueError(f"file {name!r} already exists")
+        f = SimFile(self, name)
+        self._files[name] = f
+        return f
+
+    def delete(self, f: SimFile) -> None:
+        """Delete a file: TRIM and free all of its extents."""
+        if f.deleted:
+            return
+        f.deleted = True
+        for dev_off, length in f.extents:
+            self.backend.trim(dev_off, length)
+            self._release(dev_off, length)
+        f.extents = []
+        f._starts = []
+        self._files.pop(f.name, None)
+
+    @property
+    def free_bytes(self) -> int:
+        """Unallocated capacity."""
+        return sum(length for _off, length in self._free)
+
+    @property
+    def file_count(self) -> int:
+        return len(self._files)
+
+    # -- allocation ----------------------------------------------------------------
+
+    def _extend(self, f: SimFile, size: int) -> List[Tuple[int, int]]:
+        """Grow ``f`` by ``size`` bytes; return device segments to write.
+
+        The tail of the last extent is reused first (so sub-page appends
+        land mid-page and incur the FTL's read-modify-write, like a real
+        O_SYNC log tail).  Extra space is allocated in page-aligned
+        chunks.
+        """
+        segments: List[Tuple[int, int]] = []
+        remaining = size
+        allocated = sum(length for _off, length in f.extents)
+        slack = allocated - f.size
+        if slack > 0:
+            dev_off, ext_len = f.extents[-1]
+            within = ext_len - slack
+            take = min(remaining, slack)
+            segments.append((dev_off + within, take))
+            remaining -= take
+        while remaining > 0:
+            want = max(
+                self.page_size,
+                min(self.ALLOC_CHUNK, -(-remaining // self.page_size) * self.page_size),
+            )
+            dev_off, got = self._allocate(want)
+            f._starts.append(sum(length for _off, length in f.extents))
+            f.extents.append((dev_off, got))
+            take = min(remaining, got)
+            segments.append((dev_off, take))
+            remaining -= take
+        return segments
+
+    def _allocate(self, want: int) -> Tuple[int, int]:
+        """First fit: return (offset, length) of at most ``want`` bytes."""
+        for i, (off, length) in enumerate(self._free):
+            if length >= want:
+                if length == want:
+                    self._free.pop(i)
+                else:
+                    self._free[i] = (off + want, length - want)
+                return off, want
+        # No hole big enough: take the largest (allocation may split).
+        if not self._free:
+            raise OutOfSpace("filesystem full")
+        i = max(range(len(self._free)), key=lambda j: self._free[j][1])
+        off, length = self._free.pop(i)
+        return off, length
+
+    def _release(self, off: int, length: int) -> None:
+        """Return an extent to the free list, coalescing neighbours."""
+        i = bisect.bisect_left(self._free, (off, 0))
+        self._free.insert(i, (off, length))
+        # Coalesce with the next, then the previous.
+        if i + 1 < len(self._free):
+            o2, l2 = self._free[i + 1]
+            if off + length == o2:
+                self._free[i] = (off, length + l2)
+                self._free.pop(i + 1)
+        if i > 0:
+            o0, l0 = self._free[i - 1]
+            off, length = self._free[i]
+            if o0 + l0 == off:
+                self._free[i - 1] = (o0, l0 + length)
+                self._free.pop(i)

@@ -1,0 +1,353 @@
+"""Page-mapped flash translation layer.
+
+Models the SSD-internal log-structured write path the paper describes in
+§3.2: host writes append to pre-erased blocks, a page map tracks the
+live location of each logical page, and garbage collection performs
+read-merge-write of still-valid pages to replenish the free-block pool.
+This is the mechanism behind write amplification and the
+erase-before-write penalty; it is what makes small random overwrites
+expensive and whole-file TRIMs (the LSM engine's deleted SSTables)
+nearly free.
+
+The FTL is purely bookkeeping — it computes *what* flash work an
+operation implies (which channels program/copy/erase how many pages).
+The device model charges the corresponding simulated time.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .profiles import SsdProfile
+
+__all__ = ["Ftl", "WritePlan", "GcMove"]
+
+UNMAPPED = -1
+
+
+@dataclass
+class WritePlan:
+    """Flash work implied by one host write.
+
+    ``programs`` lists (channel, pages-to-program-there) chunks.  An op
+    writes its pages in stripe-sized chunks across consecutive channels,
+    so small ops land on one channel (one program latency) while large
+    ops fan out — this is what amortizes program latency and makes write
+    bandwidth climb with op size until the channels saturate.
+    """
+
+    programs: List[Tuple[int, int]]
+    pages: int
+
+    @property
+    def program_pages(self) -> int:
+        return sum(n for _c, n in self.programs)
+
+
+@dataclass
+class GcMove:
+    """One garbage-collection step: evacuate + erase a victim block."""
+
+    victim: int
+    victim_channel: int
+    copies: List[Tuple[int, int]]  # (destination channel, pages programmed)
+    valid_pages: int
+
+
+class Ftl:
+    """Log-structured page-mapped FTL with greedy garbage collection."""
+
+    def __init__(self, profile: SsdProfile, seed: int = 0):
+        self.profile = profile
+        self.rng = random.Random(seed)
+        n_pages = profile.logical_pages
+        n_blocks = profile.physical_blocks
+        if n_blocks <= profile.gc_reserve_blocks + 2 * profile.channels:
+            raise ValueError(
+                f"profile {profile.name}: {n_blocks} blocks is too few for "
+                f"{profile.channels} channels plus GC reserve"
+            )
+        #: logical page -> physical block holding its live copy
+        self.page_to_block = np.full(n_pages, UNMAPPED, dtype=np.int32)
+        #: physical block -> count of live pages
+        self.block_valid = np.zeros(n_blocks, dtype=np.int32)
+        #: physical block -> channel it was allocated on (-1 while free)
+        self.block_channel = np.full(n_blocks, -1, dtype=np.int16)
+        #: physical block -> logical pages appended to it (lazy: may list
+        #: pages that were since overwritten; bounded by pages_per_block)
+        self.block_pages: List[List[int]] = [[] for _ in range(n_blocks)]
+        self.free_blocks: Deque[int] = deque(range(n_blocks))
+        #: per-channel active block for host writes / for GC writes
+        self._host_active: List[Optional[int]] = [None] * profile.channels
+        self._host_fill: List[int] = [0] * profile.channels
+        self._gc_active: List[Optional[int]] = [None] * profile.channels
+        self._gc_fill: List[int] = [0] * profile.channels
+        self._host_cursor = 0
+        self._gc_cursor = 0
+        self._in_gc = False
+        self.emergency_gcs = 0
+
+    # -- capacity state ------------------------------------------------------
+
+    @property
+    def free_fraction(self) -> float:
+        """Fraction of physical blocks on the free list."""
+        return len(self.free_blocks) / len(self.block_valid)
+
+    @property
+    def _gc_low_blocks(self) -> int:
+        # Block-count floor keeps the GC trigger safely above the host
+        # starvation threshold even on tiny test devices.
+        return max(
+            int(len(self.block_valid) * self.profile.gc_low_watermark),
+            self.profile.gc_reserve_blocks + 2 * self.profile.channels,
+        )
+
+    @property
+    def _gc_high_blocks(self) -> int:
+        return max(
+            int(len(self.block_valid) * self.profile.gc_high_watermark),
+            self._gc_low_blocks + 2 * self.profile.channels,
+        )
+
+    @property
+    def gc_needed(self) -> bool:
+        """True when the pool has drained below the low watermark."""
+        return len(self.free_blocks) <= self._gc_low_blocks
+
+    @property
+    def gc_satisfied(self) -> bool:
+        """True when GC has refilled the pool to the high watermark."""
+        return len(self.free_blocks) >= self._gc_high_blocks
+
+    @property
+    def host_starved(self) -> bool:
+        """True when host writes must stall for GC (the write cliff).
+
+        The last few free blocks are reserved for GC's own destination
+        blocks; letting the host consume them would deadlock collection.
+        """
+        return len(self.free_blocks) <= self.profile.gc_reserve_blocks + 2
+
+    # -- address helpers -----------------------------------------------------
+
+    def _page_range(self, offset: int, size: int) -> range:
+        if size <= 0:
+            raise ValueError(f"io size must be positive, got {size}")
+        if offset < 0:
+            raise ValueError(f"negative offset {offset}")
+        page = self.profile.page_size
+        first = offset // page
+        last = (offset + size - 1) // page
+        if last >= self.profile.logical_pages:
+            raise ValueError(
+                f"io [{offset}, {offset + size}) beyond logical capacity "
+                f"{self.profile.logical_capacity}"
+            )
+        return range(first, last + 1)
+
+    def read_channels(self, offset: int, size: int) -> List[Tuple[int, int, int]]:
+        """Map a host read to per-channel work.
+
+        Returns (channel, pages, bytes) triples.  Bytes are the actual
+        transfer sizes (sub-page reads move only the requested bytes off
+        the flash register).  Unmapped pages read as if striped by LBA.
+        """
+        page = self.profile.page_size
+        nchan = self.profile.channels
+        pages = self._page_range(offset, size)
+        per_chan_pages = [0] * nchan
+        per_chan_bytes = [0] * nchan
+        end = offset + size
+        for p in pages:
+            block = self.page_to_block[p]
+            chan = int(self.block_channel[block]) if block != UNMAPPED else p % nchan
+            lo = max(offset, p * page)
+            hi = min(end, (p + 1) * page)
+            per_chan_pages[chan] += 1
+            per_chan_bytes[chan] += hi - lo
+        return [
+            (c, per_chan_pages[c], per_chan_bytes[c])
+            for c in range(nchan)
+            if per_chan_pages[c]
+        ]
+
+    # -- host writes ---------------------------------------------------------
+
+    def host_write(self, offset: int, size: int) -> WritePlan:
+        """Apply a host write to the map and return the flash work.
+
+        Every touched logical page is rewritten in full (log-structured:
+        no in-place update), so sub-page writes still program a whole
+        page — the cost-per-byte penalty of small writes.  Pages are
+        striped in ``stripe_pages`` chunks over consecutive channels
+        starting from a rotating cursor, so concurrent small ops spread
+        across channels while one large op parallelizes internally.
+        """
+        pages = self._page_range(offset, size)
+        programs = [0] * self.profile.channels
+        nchan = self.profile.channels
+        stripe = self.profile.stripe_pages
+        start = self._host_cursor
+        self._host_cursor = (start + 1) % nchan
+        for i, p in enumerate(pages):
+            chan = (start + i // stripe) % nchan
+            self._append_page(p, gc=False, channel=chan)
+            programs[chan] += 1
+        return WritePlan(
+            programs=[(c, n) for c, n in enumerate(programs) if n],
+            pages=len(pages),
+        )
+
+    def trim(self, offset: int, size: int) -> int:
+        """Invalidate a logical range (file deletion). Returns pages freed."""
+        freed = 0
+        for p in self._page_range(offset, size):
+            block = self.page_to_block[p]
+            if block != UNMAPPED:
+                self.block_valid[block] -= 1
+                self.page_to_block[p] = UNMAPPED
+                freed += 1
+        return freed
+
+    def _append_page(self, logical_page: int, gc: bool, channel: int) -> int:
+        """Append one logical page to ``channel``'s active block.
+
+        Invalidates the previous copy.  Returns the channel (for
+        symmetry with callers that compute it).
+        """
+        old = self.page_to_block[logical_page]
+        if old != UNMAPPED:
+            self.block_valid[old] -= 1
+        active, fill = (
+            (self._gc_active, self._gc_fill) if gc else (self._host_active, self._host_fill)
+        )
+        block = active[channel]
+        if block is None or fill[channel] >= self.profile.pages_per_block:
+            block = self._allocate_block(channel)
+            active[channel] = block
+            fill[channel] = 0
+        self.page_to_block[logical_page] = block
+        self.block_valid[block] += 1
+        self.block_pages[block].append(logical_page)
+        fill[channel] += 1
+        return channel
+
+    def _allocate_block(self, channel: int) -> int:
+        if not self.free_blocks:
+            # Emergency: evacuate synchronously so the write can proceed.
+            # The device-level flow control (host writes stall while
+            # ``host_starved``) is sized to make this unreachable; count
+            # it so tests can assert the background GC keeps up.
+            if self._in_gc:
+                raise RuntimeError(
+                    "FTL exhausted: GC needs a destination block but the "
+                    "free pool is empty (reserve misconfigured)"
+                )
+            self.emergency_gcs += 1
+            move = self.collect_victim()
+            if move is None:
+                raise RuntimeError("FTL out of space: no GC victim available")
+        block = self.free_blocks.popleft()
+        self.block_channel[block] = channel
+        self.block_pages[block] = []
+        return block
+
+    # -- garbage collection ----------------------------------------------------
+
+    _INF_VALID = 1 << 30
+
+    def pick_victim(self) -> Optional[int]:
+        """Greedy victim choice: the closed block with fewest live pages."""
+        cost = np.where(self.block_channel >= 0, self.block_valid, self._INF_VALID)
+        for b in self._host_active + self._gc_active:
+            if b is not None:
+                cost[b] = self._INF_VALID
+        victim = int(np.argmin(cost))
+        if cost[victim] >= self._INF_VALID:
+            return None
+        return victim
+
+    def collect_victim(self) -> Optional[GcMove]:
+        """Evacuate and erase the best victim block.
+
+        The map is updated immediately; the device model charges the
+        corresponding channel time afterwards.  Returns None when no
+        victim exists.
+        """
+        victim = self.pick_victim()
+        if victim is None:
+            return None
+        victim_channel = int(self.block_channel[victim])
+        # Mark the victim as in-evacuation so re-entrant victim picks
+        # (GC allocating its own destination blocks) cannot select it.
+        self.block_channel[victim] = -2
+        self._in_gc = True
+        copies = [0] * self.profile.channels
+        moved = 0
+        nchan = self.profile.channels
+        stripe = self.profile.stripe_pages
+        start = self._gc_cursor
+        self._gc_cursor = (start + 1) % nchan
+        try:
+            for p in self.block_pages[victim]:
+                if self.page_to_block[p] == victim:  # still live here
+                    chan = (start + moved // stripe) % nchan
+                    self._append_page(p, gc=True, channel=chan)
+                    copies[chan] += 1
+                    moved += 1
+        finally:
+            self._in_gc = False
+        # Erase: back to the free pool.
+        self.block_valid[victim] = 0
+        self.block_channel[victim] = -1
+        self.block_pages[victim] = []
+        self.free_blocks.append(victim)
+        return GcMove(
+            victim=victim,
+            victim_channel=victim_channel,
+            copies=[(c, n) for c, n in enumerate(copies) if n],
+            valid_pages=moved,
+        )
+
+    # -- preconditioning --------------------------------------------------------
+
+    def precondition(self, age_factor: float = 2.0) -> None:
+        """Bring the device to its aged steady state, instantly.
+
+        Fills the logical space in LBA order (so sequential reads stripe
+        evenly across channels, matching a freshly streamed device), then
+        ages the device with ``age_factor`` × logical-capacity worth of
+        uniform random page overwrites, running GC as a real device
+        would.  This converges the per-block valid-count distribution to
+        the greedy-GC steady state so write workloads see realistic
+        (finite!) write amplification from their first IO.
+        """
+        if age_factor < 0:
+            raise ValueError(f"age_factor {age_factor} must be >= 0")
+        n_pages = self.profile.logical_pages
+        nchan = self.profile.channels
+        stripe = self.profile.stripe_pages
+        for p in range(n_pages):
+            # LBA-ordered fill, striped so sequential reads parallelize.
+            self._append_page(p, gc=False, channel=(p // stripe) % nchan)
+            if self.gc_needed:
+                self._sync_gc()
+        for i in range(int(n_pages * age_factor)):
+            chan = (self._host_cursor + i) % nchan
+            self._append_page(self.rng.randrange(n_pages), gc=False, channel=chan)
+            if self.gc_needed:
+                self._sync_gc()
+        self._sync_gc()
+        self.emergency_gcs = 0
+
+    def _sync_gc(self) -> None:
+        """Run GC to the high watermark with no simulated time cost."""
+        while not self.gc_satisfied:
+            if self.collect_victim() is None:  # pragma: no cover - defensive
+                break

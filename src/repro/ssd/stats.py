@@ -1,0 +1,56 @@
+"""Device-level counters.
+
+Separated from the device so experiments can snapshot/reset them between
+warm-up and measurement windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["SsdStats"]
+
+
+@dataclass
+class SsdStats:
+    """Cumulative counters for one simulated SSD."""
+
+    reads: int = 0
+    writes: int = 0
+    read_bytes: int = 0
+    write_bytes: int = 0
+    trims: int = 0
+    # GC activity
+    gc_runs: int = 0
+    gc_pages_copied: int = 0
+    gc_blocks_erased: int = 0
+    # Busy-time accounting (seconds of service rendered)
+    controller_busy: float = 0.0
+    channel_busy: float = 0.0
+
+    def snapshot(self) -> "SsdStats":
+        """Return a copy of the current counters."""
+        return SsdStats(**vars(self))
+
+    def delta(self, earlier: "SsdStats") -> "SsdStats":
+        """Return counters accumulated since ``earlier``."""
+        return SsdStats(
+            **{k: getattr(self, k) - getattr(earlier, k) for k in vars(self)}
+        )
+
+    def reset(self) -> None:
+        """Zero every counter in place."""
+        for key in vars(self):
+            setattr(self, key, type(getattr(self, key))())
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view for reporting."""
+        return dict(vars(self))
+
+    def write_amplification(self, page_size: int) -> float:
+        """Physical-to-host write ratio including GC page copies."""
+        if self.write_bytes == 0:
+            return 1.0
+        gc_bytes = self.gc_pages_copied * page_size
+        return (self.write_bytes + gc_bytes) / self.write_bytes

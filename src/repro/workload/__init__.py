@@ -1,0 +1,32 @@
+"""Workload generation: distributions, raw-IO trials, KV drivers."""
+
+from .distributions import FixedSize, LogNormalSize, UniformKeys, ZipfKeys, align
+from .trace import Trace, TraceRecord, TraceRecorder, replay_trace
+from .iobench import (
+    DeviceEnv,
+    TenantResult,
+    TenantSpec,
+    TrialResult,
+    isolated_iops,
+    run_interference_trial,
+    run_raw_trial,
+)
+
+__all__ = [
+    "DeviceEnv",
+    "FixedSize",
+    "LogNormalSize",
+    "TenantResult",
+    "TenantSpec",
+    "Trace",
+    "TraceRecord",
+    "TraceRecorder",
+    "TrialResult",
+    "UniformKeys",
+    "ZipfKeys",
+    "align",
+    "isolated_iops",
+    "run_interference_trial",
+    "replay_trace",
+    "run_raw_trial",
+]

@@ -1,0 +1,120 @@
+"""Deterministic workload distributions.
+
+All samplers take an explicit ``random.Random`` so every experiment is
+reproducible from its seed.  Sizes follow the paper: fixed op sizes for
+the interference grids, log-normal sizes (given mean and σ in bytes)
+for the variable-size rows of Fig 4 and the KV workloads of Figs 10-12,
+uniform or Zipfian key popularity for the LSM workloads.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["LogNormalSize", "FixedSize", "UniformKeys", "ZipfKeys", "align"]
+
+KIB = 1024
+
+
+def align(value: int, granularity: int) -> int:
+    """Round ``value`` up to a multiple of ``granularity`` (min one)."""
+    if value <= 0:
+        return granularity
+    return ((value + granularity - 1) // granularity) * granularity
+
+
+class FixedSize:
+    """Degenerate size distribution: always ``size`` bytes."""
+
+    def __init__(self, size: int):
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size}")
+        self.size = size
+        self.mean = float(size)
+
+    def sample(self, rng: random.Random) -> int:
+        return self.size
+
+
+class LogNormalSize:
+    """Log-normal op sizes with a given mean and standard deviation.
+
+    Parameterized the way the paper reports it: ``mean`` and ``sigma``
+    are in *bytes* of the resulting distribution (not of the underlying
+    normal).  Samples are clamped to [lo, hi] and rounded up to whole
+    ``granularity`` units (1 KB by default, matching size-normalized
+    requests).
+    """
+
+    def __init__(
+        self,
+        mean: float,
+        sigma: float,
+        lo: int = 1 * KIB,
+        hi: int = 512 * KIB,
+        granularity: int = 1 * KIB,
+    ):
+        if mean <= 0 or sigma < 0:
+            raise ValueError(f"invalid log-normal mean={mean} sigma={sigma}")
+        if lo > hi:
+            raise ValueError(f"lo {lo} > hi {hi}")
+        self.mean = float(mean)
+        self.sigma = float(sigma)
+        self.lo = lo
+        self.hi = hi
+        self.granularity = granularity
+        if sigma == 0:
+            self._mu = math.log(mean)
+            self._s = 0.0
+        else:
+            variance = sigma * sigma
+            self._s = math.sqrt(math.log(1.0 + variance / (mean * mean)))
+            self._mu = math.log(mean) - self._s * self._s / 2.0
+
+    def sample(self, rng: random.Random) -> int:
+        if self._s == 0.0:
+            raw = self.mean
+        else:
+            raw = rng.lognormvariate(self._mu, self._s)
+        clamped = min(max(int(raw), self.lo), self.hi)
+        return align(clamped, self.granularity)
+
+
+class UniformKeys:
+    """Uniform key popularity over ``n`` keys."""
+
+    def __init__(self, n: int):
+        if n <= 0:
+            raise ValueError(f"key count must be positive, got {n}")
+        self.n = n
+
+    def sample(self, rng: random.Random) -> int:
+        return rng.randrange(self.n)
+
+
+class ZipfKeys:
+    """Zipfian key popularity: P(k) ∝ 1 / (k+1)^theta.
+
+    Skewed access concentrates overwrites on hot keys, which is what
+    gives LSM compaction its data savings (§3.1).  Sampling uses a
+    precomputed CDF + binary search, so it is O(log n) per draw and
+    exact for any theta ≥ 0.
+    """
+
+    def __init__(self, n: int, theta: float = 0.99):
+        if n <= 0:
+            raise ValueError(f"key count must be positive, got {n}")
+        if theta < 0:
+            raise ValueError(f"theta must be >= 0, got {theta}")
+        self.n = n
+        self.theta = theta
+        weights = 1.0 / np.power(np.arange(1, n + 1, dtype=np.float64), theta)
+        self._cdf = np.cumsum(weights)
+        self._cdf /= self._cdf[-1]
+
+    def sample(self, rng: random.Random) -> int:
+        return int(np.searchsorted(self._cdf, rng.random(), side="right"))

@@ -1,0 +1,99 @@
+"""Tests for the posix-style LibraIo wrapper (§5's system-call surface)."""
+
+import pytest
+
+from repro.core import (
+    InternalOp,
+    IoTag,
+    LibraIo,
+    LibraScheduler,
+    RequestClass,
+    make_cost_model,
+    reference_calibration,
+)
+from repro.sim import Simulator
+from repro.ssd import SsdDevice, SsdProfile
+
+KIB = 1024
+MIB = 1024 * 1024
+
+
+@pytest.fixture
+def io_env():
+    sim = Simulator()
+    profile = SsdProfile(name="tiny-api", channels=4, logical_capacity=16 * MIB, overprovision=1.0)
+    device = SsdDevice(sim, profile, seed=1)
+    scheduler = LibraScheduler(
+        sim, device, make_cost_model("exact", reference_calibration("intel320"))
+    )
+    scheduler.register_tenant("t1", 10_000.0)
+    return sim, scheduler, LibraIo(scheduler)
+
+
+def test_io_requires_tag_or_mark(io_env):
+    _sim, _sched, io = io_env
+    with pytest.raises(ValueError):
+        io.pread(0, 4 * KIB)
+
+
+def test_explicit_tag(io_env):
+    sim, scheduler, io = io_env
+
+    def flow():
+        yield io.pread(0, 4 * KIB, tag=IoTag("t1", RequestClass.GET))
+
+    proc = sim.process(flow())
+    sim.run(until=5.0)
+    assert proc.triggered and proc.ok
+    assert scheduler.usage("t1").tasks == 1
+
+
+def test_task_marking_sets_ambient_tag(io_env):
+    sim, scheduler, io = io_env
+    seen = []
+    scheduler.io_observer = lambda tag, kind, size, cost: seen.append(tag)
+
+    def flow():
+        with io.task("t1", RequestClass.PUT, InternalOp.FLUSH) as tag:
+            assert io.current_tag == tag
+            yield io.pwrite(0, 8 * KIB)
+        assert io.current_tag is None
+
+    proc = sim.process(flow())
+    sim.run(until=5.0)
+    assert proc.triggered and proc.ok, proc.value
+    assert seen and seen[0].tenant == "t1"
+    assert seen[0].request == RequestClass.PUT
+    assert seen[0].internal == InternalOp.FLUSH
+
+
+def test_task_marking_nests_and_restores(io_env):
+    _sim, _scheduler, io = io_env
+    with io.task("t1", RequestClass.GET):
+        outer = io.current_tag
+        with io.task("t1", RequestClass.PUT):
+            assert io.current_tag.request == RequestClass.PUT
+        assert io.current_tag == outer
+    assert io.current_tag is None
+
+
+def test_explicit_tag_overrides_ambient(io_env):
+    sim, scheduler, io = io_env
+    seen = []
+    scheduler.io_observer = lambda tag, kind, size, cost: seen.append(tag)
+
+    def flow():
+        with io.task("t1", RequestClass.GET):
+            yield io.pwrite(0, 4 * KIB, tag=IoTag("t1", RequestClass.PUT))
+
+    proc = sim.process(flow())
+    sim.run(until=5.0)
+    assert proc.triggered and proc.ok
+    assert seen[0].request == RequestClass.PUT
+
+
+def test_trim_passthrough(io_env):
+    _sim, scheduler, io = io_env
+    before = scheduler.device.stats.trims
+    io.trim(0, 1 * MIB)
+    assert scheduler.device.stats.trims == before + 1

@@ -1,0 +1,52 @@
+"""Regression pinning: embedded reference tables vs fresh sweeps.
+
+calibration.py promises that the embedded reference curves stay within
+tolerance of a freshly run sweep; this is that check (for the primary
+profile — the sweep costs a few wall seconds).  If a device-model
+change shifts the curves, regenerate the tables with
+``python -m repro.core.calibration`` and the floors with
+``python -m repro.core.capacity`` — and recheck EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.core import CALIBRATION_SIZES, calibrate_device, reference_calibration
+from repro.ssd import get_profile
+
+
+@pytest.mark.slow
+def test_intel320_reference_matches_fresh_sweep():
+    reference = reference_calibration("intel320")
+    # Sweep the full grid in the reference's order (device aging state
+    # at each point depends on the points before it) at short windows.
+    fresh = calibrate_device(
+        get_profile("intel320"),
+        duration=0.3,
+        warmup=0.1,
+    )
+    for size in (1024, 16384, 262144):  # spot-check three decades
+        assert fresh.read_iops[size] == pytest.approx(
+            reference.read_iops[size], rel=0.12
+        ), ("read", size)
+        assert fresh.write_iops[size] == pytest.approx(
+            reference.write_iops[size], rel=0.3  # writes are GC-noisier
+        ), ("write", size)
+
+
+def test_reference_tables_have_expected_anchors():
+    """Headline constants the docs and EXPERIMENTS.md quote."""
+    cal = reference_calibration("intel320")
+    assert cal.max_iop == pytest.approx(39_237, rel=0.01)
+    assert cal.sizes == CALIBRATION_SIZES
+    # Read IOP decays by >30x across the grid, write peak is 12-16k.
+    assert cal.read_iops[1024] / cal.read_iops[262144] > 30
+    assert 11_000 < max(cal.write_iops.values()) < 17_000
+
+
+def test_sata3_profiles_are_faster():
+    intel = reference_calibration("intel320")
+    for name in ("samsung840", "oczvector"):
+        other = reference_calibration(name)
+        assert other.max_iop > intel.max_iop
+        # Large-read bandwidth is roughly doubled on SATA III.
+        assert other.read_iops[262144] > intel.read_iops[262144] * 1.5

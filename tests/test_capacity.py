@@ -1,0 +1,36 @@
+"""Tests for the capacity model and floors."""
+
+import pytest
+
+from repro.core import CapacityModel, reference_calibration, reference_capacity
+from repro.core.capacity import REFERENCE_FLOORS, REFERENCE_STACK_FLOORS, stack_floor
+
+
+def test_reference_capacity_built_ins():
+    for name in ("intel320", "samsung840", "oczvector"):
+        model = reference_capacity(name)
+        assert model.profile_name == name
+        assert model.floor_vops == REFERENCE_FLOORS[name]
+        assert model.max_vops == reference_calibration(name).max_iop
+        # The floor is a real underestimate of the interference-free max.
+        assert 0.3 < model.provisionable_fraction < 0.9
+
+
+def test_admits_respects_floor():
+    model = CapacityModel(profile_name="x", max_vops=40_000.0, floor_vops=20_000.0)
+    assert model.admits(20_000.0)
+    assert not model.admits(20_001.0)
+
+
+def test_stack_floor_below_raw_floor():
+    for name in ("intel320", "samsung840", "oczvector"):
+        assert stack_floor(name) < REFERENCE_FLOORS[name]
+        assert stack_floor(name) == REFERENCE_STACK_FLOORS[name]
+
+
+def test_provisionable_fraction_matches_paper_regime():
+    # The paper's Intel 320: 18/37.5 = 0.48 provisionable.  Our raw
+    # floor is milder (documented in EXPERIMENTS.md) but the
+    # stack-aware floor lands in the paper's regime.
+    intel = reference_capacity("intel320")
+    assert stack_floor("intel320") / intel.max_vops == pytest.approx(0.43, abs=0.08)

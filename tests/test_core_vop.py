@@ -1,0 +1,201 @@
+"""Unit tests for the VOP cost models and calibration handling."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    CALIBRATION_SIZES,
+    ConstantCostModel,
+    ExactCostModel,
+    FittedCostModel,
+    FixedCostModel,
+    LinearCostModel,
+    OpKind,
+    make_cost_model,
+    reference_calibration,
+)
+from repro.core.calibration import CalibrationResult
+
+KIB = 1024
+
+
+@pytest.fixture(scope="module")
+def cal():
+    return reference_calibration("intel320")
+
+
+# ---------------------------------------------------------------------------
+# Calibration plumbing
+# ---------------------------------------------------------------------------
+
+def test_reference_calibration_covers_grid(cal):
+    assert cal.sizes == CALIBRATION_SIZES
+    assert set(cal.write_iops) == set(cal.read_iops)
+
+
+def test_max_iop_is_peak(cal):
+    assert cal.max_iop == max(cal.read_iops.values())
+    assert 30_000 < cal.max_iop < 50_000  # intel320 ballpark
+
+
+def test_reference_calibration_unknown_profile_raises():
+    with pytest.raises(KeyError):
+        reference_calibration("nonexistent-drive")
+
+
+def test_curves_show_nonlinear_iops(cal):
+    """IOP/s decays with size; bandwidth grows (Fig 3 shape)."""
+    sizes = sorted(cal.read_iops)
+    iops = [cal.read_iops[s] for s in sizes]
+    assert iops[0] > iops[-1] * 10
+    bw = [cal.read_iops[s] * s for s in sizes]
+    assert bw[-1] > bw[0] * 3
+
+
+def test_writes_cost_more_than_reads(cal):
+    exact = ExactCostModel(cal)
+    for size in cal.sizes:
+        assert exact.cost(OpKind.WRITE, size) > exact.cost(OpKind.READ, size)
+
+
+# ---------------------------------------------------------------------------
+# Exact model
+# ---------------------------------------------------------------------------
+
+def test_exact_cost_at_grid_points(cal):
+    exact = ExactCostModel(cal)
+    for size, iops in cal.read_iops.items():
+        assert exact.cost(OpKind.READ, size) == pytest.approx(cal.max_iop / iops)
+
+
+def test_exact_pure_workload_yields_constant_vops(cal):
+    """rate(s) × cost(s) == Max-IOP for every calibrated size — the
+    defining property of the VOP (§4.3)."""
+    exact = ExactCostModel(cal)
+    for kind in (OpKind.READ, OpKind.WRITE):
+        for size, iops in cal.curve(kind).items():
+            assert iops * exact.cost(kind, size) == pytest.approx(cal.max_iop)
+
+
+def test_exact_interpolates_between_grid_points(cal):
+    exact = ExactCostModel(cal)
+    lo = exact.cost(OpKind.READ, 4 * KIB)
+    mid = exact.cost(OpKind.READ, 6 * KIB)
+    hi = exact.cost(OpKind.READ, 8 * KIB)
+    assert lo < mid < hi
+
+
+def test_exact_extrapolation_below_grid_is_flat(cal):
+    exact = ExactCostModel(cal)
+    assert exact.cost(OpKind.READ, 512) == pytest.approx(exact.cost(OpKind.READ, 1 * KIB))
+
+
+def test_exact_extrapolation_above_grid_constant_cpb(cal):
+    exact = ExactCostModel(cal)
+    cpb_256k = exact.cost_per_kib(OpKind.READ, 256 * KIB)
+    cpb_1m = exact.cost_per_kib(OpKind.READ, 1024 * KIB)
+    assert cpb_1m == pytest.approx(cpb_256k, rel=1e-6)
+
+
+def test_paper_quarter_capacity_example(cal):
+    """~10000 1KB reads and ~160 256KB reads each cost about the same
+    VOP/s (the paper's worked example, up to our calibration)."""
+    exact = ExactCostModel(cal)
+    small = cal.read_iops[1 * KIB] / 4 * exact.cost(OpKind.READ, 1 * KIB)
+    large = cal.read_iops[256 * KIB] / 4 * exact.cost(OpKind.READ, 256 * KIB)
+    assert small == pytest.approx(large, rel=1e-6)
+    assert small == pytest.approx(cal.max_iop / 4)
+
+
+# ---------------------------------------------------------------------------
+# Fitted model
+# ---------------------------------------------------------------------------
+
+def test_fitted_tracks_exact(cal):
+    exact = ExactCostModel(cal)
+    fitted = FittedCostModel(cal)
+    for kind in (OpKind.READ, OpKind.WRITE):
+        for size in cal.sizes:
+            e = exact.cost(kind, size)
+            f = fitted.cost(kind, size)
+            assert abs(f - e) / e < 0.35, (kind, size, e, f)
+
+
+def test_fitted_cpb_decreases_with_size(cal):
+    fitted = FittedCostModel(cal)
+    cpbs = [fitted.cost_per_kib(OpKind.READ, s) for s in cal.sizes]
+    assert all(a >= b for a, b in zip(cpbs, cpbs[1:]))
+
+
+def test_fitted_params_shape(cal):
+    fitted = FittedCostModel(cal)
+    a, b, c = fitted.params(OpKind.WRITE)
+    assert a > 0 and 0 < b <= 3 and c >= 0
+
+
+# ---------------------------------------------------------------------------
+# Baseline models
+# ---------------------------------------------------------------------------
+
+def test_constant_model_overcharges_large_ops(cal):
+    exact = ExactCostModel(cal)
+    constant = ConstantCostModel(cal)
+    assert constant.cost(OpKind.READ, 1 * KIB) == pytest.approx(
+        exact.cost(OpKind.READ, 1 * KIB)
+    )
+    assert constant.cost(OpKind.READ, 256 * KIB) > exact.cost(OpKind.READ, 256 * KIB) * 2
+
+
+def test_constant_model_is_linear_in_size(cal):
+    constant = ConstantCostModel(cal)
+    assert constant.cost(OpKind.READ, 100 * KIB) == pytest.approx(
+        100 * constant.cost(OpKind.READ, 1 * KIB)
+    )
+
+
+def test_linear_model_matches_endpoints_deviates_in_middle(cal):
+    exact = ExactCostModel(cal)
+    linear = LinearCostModel(cal)
+    for kind in (OpKind.READ, OpKind.WRITE):
+        assert linear.cost(kind, 1 * KIB) == pytest.approx(exact.cost(kind, 1 * KIB))
+        assert linear.cost(kind, 256 * KIB) == pytest.approx(exact.cost(kind, 256 * KIB))
+    # Between the endpoints the linear estimate deviates from the true
+    # curve (the paper's Fig 8/9 point); for this device the largest
+    # gap is on mid-size writes.
+    mid_sizes = (8 * KIB, 16 * KIB, 32 * KIB, 64 * KIB)
+    worst = max(
+        abs(linear.cost(OpKind.WRITE, s) - exact.cost(OpKind.WRITE, s))
+        / exact.cost(OpKind.WRITE, s)
+        for s in mid_sizes
+    )
+    assert worst > 0.10
+
+
+def test_fixed_model_flat(cal):
+    fixed = FixedCostModel(cal)
+    assert fixed.cost(OpKind.READ, 1 * KIB) == fixed.cost(OpKind.READ, 256 * KIB)
+    exact = ExactCostModel(cal)
+    # Large ops grossly under-charged.
+    assert fixed.cost(OpKind.READ, 256 * KIB) < exact.cost(OpKind.READ, 256 * KIB) / 5
+
+
+def test_make_cost_model_dispatch(cal):
+    for name, cls in [
+        ("exact", ExactCostModel),
+        ("fitted", FittedCostModel),
+        ("constant", ConstantCostModel),
+        ("linear", LinearCostModel),
+        ("fixed", FixedCostModel),
+    ]:
+        assert isinstance(make_cost_model(name, cal), cls)
+    with pytest.raises(KeyError):
+        make_cost_model("bogus", cal)
+
+
+def test_write_read_cost_gap_narrows_with_size(cal):
+    """Writes cost more, but the ratio shrinks at large IOPs (Fig 6)."""
+    exact = ExactCostModel(cal)
+    gap_small = exact.cost(OpKind.WRITE, 1 * KIB) / exact.cost(OpKind.READ, 1 * KIB)
+    gap_large = exact.cost(OpKind.WRITE, 256 * KIB) / exact.cost(OpKind.READ, 256 * KIB)
+    assert gap_small > gap_large

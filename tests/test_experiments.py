@@ -1,0 +1,94 @@
+"""Smoke tests for the experiment harness.
+
+Fast figures run for real; slow ones are exercised at reduced scope
+through their building blocks.  The full regeneration lives in
+``benchmarks/``.
+"""
+
+import pytest
+
+from repro.experiments import FIGURES, run_figure
+from repro.experiments import common, fig3, fig5, fig6, fig8
+from repro.experiments.fig4 import Fig4Result
+
+
+def test_figure_registry_complete():
+    assert FIGURES == tuple(f"fig{i}" for i in range(2, 13))
+
+
+def test_run_figure_unknown_rejected():
+    with pytest.raises(SystemExit):
+        run_figure("fig99", quick=True)
+
+
+def test_modes():
+    assert common.mode_for(True).name == "quick"
+    assert common.mode_for(False).name == "full"
+    assert len(common.FULL.sizes) > len(common.QUICK.sizes)
+
+
+def test_labels():
+    assert common.size_label(1024) == "1K"
+    assert common.size_label(262144) == "256K"
+    assert common.ratio_label(None) == "1:1-mix"
+    assert common.ratio_label(0.75) == "75:25"
+
+
+def test_fig6_runs_and_renders():
+    result = fig6.run()
+    text = fig6.render(result)
+    assert "Figure 6" in text
+    assert ("read", 1024) in result.points
+
+
+def test_fig8_runs_and_renders():
+    result = fig8.run()
+    text = fig8.render(result)
+    assert "constant" in text and "fitted" in text
+
+
+def test_fig5_from_synthetic_fig4():
+    cells = {
+        (0.5, None, 1024, 1024): 20_000.0,
+        (0.5, None, 1024, 4096): 30_000.0,
+        (0.99, None, 1024, 1024): 35_000.0,
+        (0.99, None, 1024, 4096): 36_000.0,
+    }
+    fig4_result = Fig4Result(
+        profile="intel320", mode="quick", sizes=(1024, 4096), cells=cells
+    )
+    result = fig5.from_fig4(fig4_result)
+    assert result.floor == 20_000.0
+    assert set(result.curves) == {"50:50", "99:1"}
+    text = fig5.render(result)
+    assert "Figure 5" in text
+
+
+def test_fig4_result_grid_orientation():
+    cells = {
+        (0.5, None, 1024, 1024): 1.0,
+        (0.5, None, 1024, 4096): 2.0,
+        (0.5, None, 4096, 1024): 3.0,
+        (0.5, None, 4096, 4096): 4.0,
+    }
+    result = Fig4Result(profile="p", mode="quick", sizes=(1024, 4096), cells=cells)
+    grid = result.grid(0.5, None)
+    # rows: write sizes large->small; cols: read sizes small->large
+    assert grid == [[2.0, 4.0], [1.0, 3.0]]
+    assert result.floor == 1.0 and result.peak == 4.0
+
+
+def test_fig3_quick_subset_runs():
+    # A tiny bespoke sweep: one op size, short window.
+    from repro.core.tags import OpKind
+    from repro.sim import Simulator
+    from repro.ssd import SsdDevice, get_profile
+
+    sim = Simulator()
+    device = SsdDevice(sim, get_profile("intel320"), seed=3)
+    iops, bw = fig3._sweep_point(
+        sim, device, OpKind.READ, 4096, sequential=False,
+        duration=0.1, warmup=0.05, seed=3,
+    )
+    assert iops > 1000
+    assert bw == iops * 4096

@@ -1,0 +1,194 @@
+"""Full-stack integration tests: node + Libra + engine + device
+working together under multi-tenant load."""
+
+import random
+
+import pytest
+
+from repro.core import RequestClass, Reservation
+from repro.engine import EngineConfig
+from repro.node import NodeConfig, StorageCluster, StorageNode
+from repro.sim import Simulator
+from repro.ssd import SsdProfile
+
+KIB = 1024
+MIB = 1024 * 1024
+
+PROFILE = SsdProfile(
+    name="integ", channels=8, logical_capacity=128 * MIB, overprovision=1.0
+)
+
+
+def build_node(seed=6, capacity=12_000.0, **cfg):
+    sim = Simulator()
+    node = StorageNode(
+        sim,
+        profile=PROFILE,
+        config=NodeConfig(
+            capacity_vops=capacity,
+            engine=EngineConfig(memtable_bytes=512 * KIB, level1_bytes=2 * MIB),
+            **cfg,
+        ),
+        seed=seed,
+    )
+    return sim, node
+
+
+def spawn_load(sim, node, tenant, get_fraction, size, n_keys, horizon, seed, workers=4):
+    rng = random.Random(seed)
+
+    def worker():
+        while sim.now < horizon:
+            key = rng.randrange(n_keys)
+            if rng.random() < get_fraction:
+                yield from node.get(tenant, key)
+            else:
+                yield from node.put(tenant, key, size)
+
+    for _ in range(workers):
+        sim.process(worker())
+
+
+def test_two_tenants_share_proportionally_to_reservations():
+    """A tenant reserving 3x the rate receives clearly more VOPs.
+
+    The full closed-loop stack compresses the exact 3:1 ratio (the big
+    tenant's bounded worker pool cannot always use its whole share, and
+    the leftover is work-conserved to the other tenant), so the
+    assertion is a strict ordering with a healthy gap rather than an
+    exact ratio — the precise proportionality property is covered at
+    the scheduler level in test_core_scheduler.
+    """
+    sim, node = build_node(capacity=8_000.0)
+    node.add_tenant("big", Reservation(gets=3000.0, puts=3000.0))
+    node.add_tenant("small", Reservation(gets=1000.0, puts=1000.0))
+    spawn_load(sim, node, "big", 0.5, 8 * KIB, 1000, 20.0, seed=1, workers=8)
+    spawn_load(sim, node, "small", 0.5, 8 * KIB, 1000, 20.0, seed=2, workers=8)
+    sim.run(until=5.0)  # let profiles settle
+    big0 = node.stats("big").snapshot()
+    small0 = node.stats("small").snapshot()
+    sim.run(until=20.0)
+    big = node.stats("big").delta(big0)
+    small = node.stats("small").delta(small0)
+    big_units = big.get_units + big.put_units
+    small_units = small.get_units + small.put_units
+    assert big_units > small_units * 1.5, (big_units, small_units)
+
+
+def test_profiles_learned_for_both_request_classes():
+    sim, node = build_node()
+    node.add_tenant("t", Reservation(gets=1000.0, puts=1000.0))
+    spawn_load(sim, node, "t", 0.5, 8 * KIB, 800, 10.0, seed=3)
+    sim.run(until=10.0)
+    get_profile = node.tracker.profile("t", RequestClass.GET)
+    put_profile = node.tracker.profile("t", RequestClass.PUT)
+    assert get_profile.direct > 0
+    assert put_profile.total > put_profile.direct  # indirect IO tracked
+    # PUTs in an LSM cost more per normalized unit than GETs.
+    assert put_profile.total > get_profile.total
+
+
+def test_full_stack_determinism():
+    """Same seeds -> bit-identical request counts and VOP totals."""
+
+    def run_once():
+        sim, node = build_node(seed=9)
+        node.add_tenant("a", Reservation(gets=500.0, puts=500.0))
+        node.add_tenant("b", Reservation(gets=500.0, puts=500.0))
+        spawn_load(sim, node, "a", 0.7, 4 * KIB, 500, 8.0, seed=11)
+        spawn_load(sim, node, "b", 0.3, 16 * KIB, 300, 8.0, seed=12)
+        sim.run(until=8.0)
+        return (
+            node.stats("a").gets,
+            node.stats("a").puts,
+            node.stats("b").gets,
+            node.stats("b").puts,
+            node.scheduler.usage("a").vops,
+            node.scheduler.usage("b").vops,
+            node.device.stats.gc_runs,
+        )
+
+    assert run_once() == run_once()
+
+
+def test_backlogged_node_stays_busy():
+    """Work conservation end to end: one tenant with a tiny reservation
+    still drives the device to high utilization when alone."""
+    sim, node = build_node()
+    node.add_tenant("solo", Reservation(gets=10.0, puts=10.0))
+    spawn_load(sim, node, "solo", 0.5, 8 * KIB, 1000, 10.0, seed=4, workers=8)
+    sim.run(until=10.0)
+    vops_rate = node.scheduler.usage("solo").vops / 10.0
+    # Far beyond its ~20 VOP/s entitlement.
+    assert vops_rate > 5_000.0
+
+
+def test_cache_reduces_engine_load_end_to_end():
+    sim, node = build_node(cache_bytes=8 * MIB)
+    node.add_tenant("t", Reservation(gets=1000.0, puts=100.0))
+    # Zipf-less: small keyspace so the cache covers it.
+    spawn_load(sim, node, "t", 0.9, 4 * KIB, 200, 10.0, seed=5)
+    sim.run(until=10.0)
+    stats = node.stats("t")
+    assert stats.cache_hits > stats.gets * 0.5
+    assert node.cache.hit_rate > 0.5
+
+
+def test_cluster_end_to_end_under_load():
+    sim = Simulator()
+    cluster = StorageCluster(
+        sim,
+        n_nodes=2,
+        profile=PROFILE,
+        config=NodeConfig(
+            capacity_vops=12_000.0,
+            engine=EngineConfig(memtable_bytes=512 * KIB, level1_bytes=2 * MIB),
+        ),
+        partitions_per_tenant=8,
+    )
+    cluster.add_tenant("t", Reservation(gets=2000.0, puts=2000.0))
+    rng = random.Random(8)
+
+    def worker():
+        while sim.now < 10.0:
+            key = rng.randrange(2000)
+            if rng.random() < 0.5:
+                yield from cluster.get("t", key)
+            else:
+                yield from cluster.put("t", key, 4 * KIB)
+
+    for _ in range(8):
+        sim.process(worker())
+    sim.run(until=10.0)
+    total = cluster.total_stats("t")
+    assert total.gets + total.puts > 1000
+    # Both nodes served a comparable share (uniform partitioning).
+    shares = [
+        node.stats("t").gets + node.stats("t").puts
+        for node in cluster.nodes.values()
+    ]
+    assert min(shares) > 0.3 * max(shares)
+
+
+def test_engine_data_survives_heavy_churn_with_scans():
+    """Sustained overwrites + compactions + scans stay consistent."""
+    sim, node = build_node()
+    node.add_tenant("t", Reservation(gets=1000.0, puts=1000.0))
+    rng = random.Random(10)
+    expected = {}
+
+    def churn():
+        for i in range(2200):
+            key = rng.randrange(120)
+            size = rng.choice([2, 4, 8]) * KIB
+            expected[key] = size
+            yield from node.put("t", key, size)
+        yield sim.timeout(3.0)
+        results = yield from node.scan("t", 0, 119)
+        assert dict(results) == expected
+
+    proc = sim.process(churn())
+    sim.run(until=120.0)
+    assert proc.triggered, "churn flow did not finish"
+    assert proc.ok, proc.value
+    assert node.engines["t"].stats.compactions >= 1

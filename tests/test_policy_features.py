@@ -1,0 +1,237 @@
+"""Tests for admission control, overage metering, and trace replay."""
+
+import io
+import random
+
+import pytest
+
+from repro.core import (
+    IoTag,
+    LibraScheduler,
+    Reservation,
+    ResourcePolicy,
+    ResourceTracker,
+    make_cost_model,
+    reference_calibration,
+)
+from repro.core.policy import AdmissionError
+from repro.engine import EngineConfig
+from repro.node import NodeConfig, StorageNode
+from repro.sim import Simulator
+from repro.ssd import SsdDevice, SsdProfile
+from repro.workload.trace import Trace, TraceRecord, TraceRecorder, replay_trace
+
+KIB = 1024
+MIB = 1024 * 1024
+
+TINY = SsdProfile(name="tiny-pol", channels=4, logical_capacity=64 * MIB, overprovision=1.0)
+
+
+def make_policy_env(capacity=5000.0):
+    sim = Simulator()
+    device = SsdDevice(sim, TINY, seed=1, precondition=False)
+    scheduler = LibraScheduler(
+        sim, device, make_cost_model("exact", reference_calibration("intel320"))
+    )
+    tracker = ResourceTracker()
+    policy = ResourcePolicy(sim, scheduler, tracker, capacity_vops=capacity)
+    return sim, scheduler, tracker, policy
+
+
+# ---------------------------------------------------------------------------
+# Admission control
+# ---------------------------------------------------------------------------
+
+def test_admit_within_capacity():
+    _sim, scheduler, _tracker, policy = make_policy_env(capacity=5000.0)
+    scheduler.register_tenant("a")
+    policy.admit("a", Reservation(gets=2000.0, puts=1000.0))  # cold cost 1/unit
+    assert policy.reservation("a").gets == 2000.0
+
+
+def test_admit_rejects_over_capacity():
+    _sim, scheduler, _tracker, policy = make_policy_env(capacity=5000.0)
+    scheduler.register_tenant("a")
+    scheduler.register_tenant("b")
+    policy.admit("a", Reservation(gets=3000.0))
+    with pytest.raises(AdmissionError):
+        policy.admit("b", Reservation(gets=2500.0))
+    # The rejected reservation was not installed.
+    assert policy.reservation("b").gets == 0.0
+
+
+def test_admit_replacing_own_reservation_allowed():
+    _sim, scheduler, _tracker, policy = make_policy_env(capacity=5000.0)
+    scheduler.register_tenant("a")
+    policy.admit("a", Reservation(gets=4000.0))
+    # Replacing (not adding to) its own reservation stays feasible.
+    policy.admit("a", Reservation(gets=4500.0))
+    assert policy.reservation("a").gets == 4500.0
+
+
+def test_can_admit_uses_learned_profiles():
+    _sim, scheduler, tracker, policy = make_policy_env(capacity=5000.0)
+    scheduler.register_tenant("a")
+    # Teach the tracker an expensive PUT profile: 5 VOPs per unit.
+    from repro.core import OpKind, RequestClass
+
+    tag = IoTag("a", RequestClass.PUT)
+    tracker.note_io(tag, OpKind.WRITE, 100 * KIB, 500.0)
+    tracker.note_request("a", RequestClass.PUT, 100 * KIB)
+    tracker.roll_interval()
+    assert policy.can_admit("a", Reservation(puts=900.0))  # 4500 VOPs
+    assert not policy.can_admit("a", Reservation(puts=1100.0))  # 5500 VOPs
+
+
+# ---------------------------------------------------------------------------
+# Overage metering
+# ---------------------------------------------------------------------------
+
+def test_overage_metered_for_work_conserving_excess():
+    sim = Simulator()
+    node = StorageNode(
+        sim,
+        profile=TINY,
+        config=NodeConfig(
+            capacity_vops=15_000.0,
+            engine=EngineConfig(memtable_bytes=256 * KIB, level1_bytes=1 * MIB),
+        ),
+        seed=2,
+    )
+    # Tiny reservation, hammering workload: consumption far exceeds the
+    # allocation, so the policy should bill overage.
+    node.add_tenant("t1", Reservation(gets=10.0, puts=10.0))
+    rng = random.Random(3)
+
+    def worker():
+        while sim.now < 6.0:
+            key = rng.randrange(500)
+            if rng.random() < 0.5:
+                yield from node.get("t1", key)
+            else:
+                yield from node.put("t1", key, 8 * KIB)
+
+    for _ in range(8):
+        sim.process(worker())
+    sim.run(until=6.0)
+    assert node.policy.overage.get("t1", 0.0) > 0.0
+
+
+def test_no_overage_when_within_allocation():
+    _sim, scheduler, _tracker, policy = make_policy_env()
+    scheduler.register_tenant("a", allocation=1000.0)
+    scheduler.usage("a").vops = 500.0  # half the 1s entitlement
+    policy.reprovision()
+    assert policy.overage.get("a", 0.0) == 0.0
+
+
+# ---------------------------------------------------------------------------
+# Trace record / replay
+# ---------------------------------------------------------------------------
+
+def make_node():
+    sim = Simulator()
+    node = StorageNode(
+        sim,
+        profile=TINY,
+        config=NodeConfig(
+            capacity_vops=15_000.0,
+            engine=EngineConfig(memtable_bytes=256 * KIB, level1_bytes=1 * MIB),
+        ),
+        seed=4,
+    )
+    node.add_tenant("t1")
+    return sim, node
+
+
+def test_trace_roundtrip_serialization():
+    records = [
+        TraceRecord(0.0, "t1", "put", 1, 4096),
+        TraceRecord(0.5, "t1", "get", 1, 0),
+    ]
+    trace = Trace(records)
+    buffer = io.StringIO()
+    trace.dump(buffer)
+    buffer.seek(0)
+    loaded = Trace.load(buffer)
+    assert loaded.records == records
+    assert loaded.duration == 0.5
+    assert loaded.tenants() == ["t1"]
+
+
+def test_trace_rejects_unordered():
+    with pytest.raises(ValueError):
+        Trace([TraceRecord(1.0, "t", "get", 1), TraceRecord(0.5, "t", "get", 2)])
+
+
+def test_recorder_captures_requests():
+    sim, node = make_node()
+    recorder = TraceRecorder(sim, node)
+
+    def flow():
+        yield from recorder.put("t1", 7, 2 * KIB)
+        yield from recorder.get("t1", 7)
+        yield from recorder.delete("t1", 7)
+
+    proc = sim.process(flow())
+    sim.run(until=10.0)
+    assert proc.triggered and proc.ok
+    ops = [r.op for r in recorder.trace]
+    assert ops == ["put", "get", "delete"]
+    assert recorder.trace.records[0].size == 2 * KIB
+
+
+def test_replay_closed_loop_reproduces_state():
+    sim, node = make_node()
+    trace = Trace(
+        [TraceRecord(0.0, "t1", "put", key, 4 * KIB) for key in range(10)]
+        + [TraceRecord(1.0, "t1", "get", 3, 0)]
+    )
+    proc = replay_trace(sim, node, trace, timing="closed")
+    sim.run(until=30.0)
+    assert proc.triggered and proc.ok
+    assert proc.value == 11
+    assert node.stats("t1").puts == 10
+    assert node.stats("t1").gets == 1
+
+
+def test_replay_original_timing_preserves_gaps():
+    sim, node = make_node()
+    trace = Trace(
+        [
+            TraceRecord(0.0, "t1", "put", 1, 1 * KIB),
+            TraceRecord(2.0, "t1", "put", 2, 1 * KIB),
+        ]
+    )
+    completions = []
+    proc = replay_trace(
+        sim, node, trace, timing="original",
+        on_complete=lambda r: completions.append(sim.now),
+    )
+    sim.run(until=30.0)
+    assert proc.triggered and proc.ok
+    assert completions[1] - completions[0] >= 2.0 - 1e-6
+
+
+def test_replay_time_scale_speeds_up():
+    sim, node = make_node()
+    trace = Trace(
+        [
+            TraceRecord(0.0, "t1", "put", 1, 1 * KIB),
+            TraceRecord(4.0, "t1", "put", 2, 1 * KIB),
+        ]
+    )
+    proc = replay_trace(sim, node, trace, timing="original", time_scale=0.25)
+    sim.run(until=30.0)
+    assert proc.triggered and proc.ok
+    # 4s gap compressed to ~1s: everything done well before t=3.
+    assert node.stats("t1").puts == 2
+
+
+def test_replay_validation():
+    sim, node = make_node()
+    trace = Trace([])
+    with pytest.raises(ValueError):
+        replay_trace(sim, node, trace, timing="bogus")
+    with pytest.raises(ValueError):
+        replay_trace(sim, node, trace, time_scale=0.0)

@@ -1,0 +1,138 @@
+"""Edge-case coverage for the DDRR scheduler: chunk boundaries, round
+timeouts, and diagnostic surfaces."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    IoTag,
+    LibraScheduler,
+    OpKind,
+    SchedulerConfig,
+    make_cost_model,
+    reference_calibration,
+)
+from repro.sim import Simulator
+from repro.ssd import SsdDevice, SsdProfile
+
+KIB = 1024
+MIB = 1024 * 1024
+
+
+def make_env(config=None):
+    sim = Simulator()
+    profile = SsdProfile(
+        name="tiny-edge", channels=4, logical_capacity=32 * MIB, overprovision=1.0
+    )
+    device = SsdDevice(sim, profile, seed=1)
+    model = make_cost_model("exact", reference_calibration("intel320"))
+    scheduler = LibraScheduler(sim, device, model, config=config)
+    return sim, scheduler, model
+
+
+def test_op_exactly_at_chunk_size_not_split():
+    sim, scheduler, _model = make_env()
+    scheduler.register_tenant("a", 50_000.0)
+
+    def proc():
+        yield scheduler.read(0, 128 * KIB, tag=IoTag("a"))
+
+    sim.process(proc())
+    sim.run(until=2.0)
+    assert scheduler.usage("a").ops == 1
+    assert scheduler.usage("a").tasks == 1
+
+
+def test_op_one_byte_over_chunk_splits():
+    sim, scheduler, _model = make_env()
+    scheduler.register_tenant("a", 50_000.0)
+
+    def proc():
+        yield scheduler.read(0, 128 * KIB + 4096, tag=IoTag("a"))
+
+    sim.process(proc())
+    sim.run(until=2.0)
+    usage = scheduler.usage("a")
+    assert usage.tasks == 1
+    assert usage.ops == 2
+    assert usage.bytes == 128 * KIB + 4096
+
+
+def test_chunk_size_configurable():
+    sim, scheduler, _model = make_env(SchedulerConfig(chunk_size=32 * KIB))
+    scheduler.register_tenant("a", 50_000.0)
+
+    def proc():
+        yield scheduler.read(0, 128 * KIB, tag=IoTag("a"))
+
+    sim.process(proc())
+    sim.run(until=2.0)
+    assert scheduler.usage("a").ops == 4
+
+
+def test_forced_rounds_counted_under_starved_round():
+    """A tenant holding deficit but starved of completions triggers the
+    round timeout rather than stalling other tenants forever."""
+    config = SchedulerConfig(round_seconds=0.002, timeout_rounds=2.0)
+    sim, scheduler, _model = make_env(config)
+    scheduler.register_tenant("slow", 30_000.0)
+    scheduler.register_tenant("busy", 100.0)
+    rng = random.Random(2)
+    profile = scheduler.device.profile
+    page = profile.page_size
+
+    def busy_worker():
+        tag = IoTag("busy")
+        while sim.now < 0.5:
+            yield scheduler.read(rng.randrange(0, 2000) * page, 4 * KIB, tag=tag)
+
+    # 'slow' never submits anything: it is idle, not pending, so rounds
+    # advance normally; but give it one op mid-run to hold deficit.
+    def slow_once():
+        yield sim.timeout(0.25)
+        yield scheduler.read(0, 4 * KIB, tag=IoTag("slow"))
+
+    for _ in range(4):
+        sim.process(busy_worker())
+    sim.process(slow_once())
+    sim.run(until=0.5)
+    # The busy tenant made progress the whole time.
+    assert scheduler.usage("busy").tasks > 100
+    assert scheduler.rounds > 10
+
+
+def test_queued_diagnostic():
+    sim, scheduler, _model = make_env()
+    scheduler.register_tenant("a", 1.0)  # starvation-level allocation
+    assert scheduler.queued("a") == 0
+    for i in range(40):
+        scheduler.read(i * 4096, 4 * KIB, tag=IoTag("a"))
+    # Far more submitted than the device can have in flight.
+    assert scheduler.queued("a") > 0
+
+
+def test_total_allocation_property():
+    _sim, scheduler, _model = make_env()
+    scheduler.register_tenant("a", 100.0)
+    scheduler.register_tenant("b", 200.0)
+    assert scheduler.total_allocation == 300.0
+    scheduler.set_allocation("a", 50.0)
+    assert scheduler.total_allocation == 250.0
+    assert scheduler.tenants == ["a", "b"]
+
+
+def test_mixed_read_write_accounting():
+    sim, scheduler, model = make_env()
+    scheduler.register_tenant("a", 50_000.0)
+
+    def proc():
+        yield scheduler.read(0, 4 * KIB, tag=IoTag("a"))
+        yield scheduler.write(64 * KIB, 8 * KIB, tag=IoTag("a"))
+
+    sim.process(proc())
+    sim.run(until=2.0)
+    usage = scheduler.usage("a")
+    assert usage.read_ops == 1 and usage.write_ops == 1
+    expected = model.cost(OpKind.READ, 4 * KIB) + model.cost(OpKind.WRITE, 8 * KIB)
+    assert usage.vops == pytest.approx(expected)

@@ -1,0 +1,279 @@
+"""Unit tests for simulated synchronization primitives and stores."""
+
+import pytest
+
+from repro.sim import Condition, Mutex, Semaphore, SimulationError, Simulator, Store
+
+
+# ---------------------------------------------------------------------------
+# Mutex
+# ---------------------------------------------------------------------------
+
+def test_mutex_mutual_exclusion():
+    sim = Simulator()
+    mutex = Mutex(sim)
+    trace = []
+
+    def worker(tag, hold):
+        yield mutex.acquire()
+        trace.append(("enter", tag, sim.now))
+        yield sim.timeout(hold)
+        trace.append(("exit", tag, sim.now))
+        mutex.release()
+
+    sim.process(worker("a", 3.0))
+    sim.process(worker("b", 1.0))
+    sim.run()
+    assert trace == [
+        ("enter", "a", 0.0),
+        ("exit", "a", 3.0),
+        ("enter", "b", 3.0),
+        ("exit", "b", 4.0),
+    ]
+
+
+def test_mutex_fifo_order():
+    sim = Simulator()
+    mutex = Mutex(sim)
+    order = []
+
+    def worker(tag):
+        yield mutex.acquire()
+        order.append(tag)
+        yield sim.timeout(1.0)
+        mutex.release()
+
+    for tag in range(5):
+        sim.process(worker(tag))
+    sim.run()
+    assert order == list(range(5))
+
+
+def test_mutex_release_unlocked_rejected():
+    sim = Simulator()
+    mutex = Mutex(sim)
+    with pytest.raises(SimulationError):
+        mutex.release()
+
+
+# ---------------------------------------------------------------------------
+# Condition
+# ---------------------------------------------------------------------------
+
+def test_condition_wait_notify():
+    sim = Simulator()
+    mutex = Mutex(sim)
+    cond = Condition(sim, mutex)
+    state = {"ready": False}
+    log = []
+
+    def waiter():
+        yield mutex.acquire()
+        while not state["ready"]:
+            yield cond.wait()
+        log.append(("woke", sim.now))
+        mutex.release()
+
+    def notifier():
+        yield sim.timeout(5.0)
+        yield mutex.acquire()
+        state["ready"] = True
+        cond.notify()
+        mutex.release()
+
+    sim.process(waiter())
+    sim.process(notifier())
+    sim.run()
+    assert log == [("woke", 5.0)]
+
+
+def test_condition_notify_all_wakes_everyone():
+    sim = Simulator()
+    mutex = Mutex(sim)
+    cond = Condition(sim, mutex)
+    state = {"go": False}
+    woke = []
+
+    def waiter(tag):
+        yield mutex.acquire()
+        while not state["go"]:
+            yield cond.wait()
+        woke.append(tag)
+        mutex.release()
+
+    for tag in "abc":
+        sim.process(waiter(tag))
+
+    def notifier():
+        yield sim.timeout(1.0)
+        yield mutex.acquire()
+        state["go"] = True
+        cond.notify_all()
+        mutex.release()
+
+    sim.process(notifier())
+    sim.run()
+    assert sorted(woke) == ["a", "b", "c"]
+
+
+def test_condition_wait_without_mutex_rejected():
+    sim = Simulator()
+    mutex = Mutex(sim)
+    cond = Condition(sim, mutex)
+    with pytest.raises(SimulationError):
+        cond.wait()
+
+
+# ---------------------------------------------------------------------------
+# Semaphore
+# ---------------------------------------------------------------------------
+
+def test_semaphore_bounds_concurrency():
+    sim = Simulator()
+    sem = Semaphore(sim, value=2)
+    active = {"n": 0, "max": 0}
+
+    def worker():
+        yield sem.acquire()
+        active["n"] += 1
+        active["max"] = max(active["max"], active["n"])
+        yield sim.timeout(1.0)
+        active["n"] -= 1
+        sem.release()
+
+    for _ in range(10):
+        sim.process(worker())
+    sim.run()
+    assert active["max"] == 2
+    assert sem.value == 2
+
+
+def test_semaphore_try_acquire():
+    sim = Simulator()
+    sem = Semaphore(sim, value=1)
+    assert sem.try_acquire() is True
+    assert sem.try_acquire() is False
+    sem.release()
+    assert sem.try_acquire() is True
+
+
+def test_semaphore_release_multiple():
+    sim = Simulator()
+    sem = Semaphore(sim, value=0)
+    woke = []
+
+    def worker(tag):
+        yield sem.acquire()
+        woke.append(tag)
+
+    for tag in range(3):
+        sim.process(worker(tag))
+
+    def releaser():
+        yield sim.timeout(1.0)
+        sem.release(count=3)
+
+    sim.process(releaser())
+    sim.run()
+    assert woke == [0, 1, 2]
+
+
+def test_semaphore_invalid_init():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Semaphore(sim, value=-1)
+
+
+# ---------------------------------------------------------------------------
+# Store
+# ---------------------------------------------------------------------------
+
+def test_store_fifo_handoff():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer():
+        for _ in range(3):
+            item = yield store.get()
+            got.append((sim.now, item))
+
+    def producer():
+        for i in range(3):
+            yield sim.timeout(1.0)
+            yield store.put(i)
+
+    sim.process(consumer())
+    sim.process(producer())
+    sim.run()
+    assert got == [(1.0, 0), (2.0, 1), (3.0, 2)]
+
+
+def test_store_capacity_blocks_producer():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    trace = []
+
+    def producer():
+        yield store.put("a")
+        trace.append(("put-a", sim.now))
+        yield store.put("b")
+        trace.append(("put-b", sim.now))
+
+    def consumer():
+        yield sim.timeout(5.0)
+        item = yield store.get()
+        trace.append(("got", item, sim.now))
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert trace == [("put-a", 0.0), ("got", "a", 5.0), ("put-b", 5.0)]
+
+
+def test_store_try_put_and_try_get():
+    sim = Simulator()
+    store = Store(sim, capacity=2)
+    assert store.try_put(1)
+    assert store.try_put(2)
+    assert not store.try_put(3)
+    ok, item = store.try_get()
+    assert ok and item == 1
+    assert store.try_put(3)
+    assert len(store) == 2
+
+
+def test_store_peek_does_not_consume():
+    sim = Simulator()
+    store = Store(sim)
+    assert store.peek() is None
+    store.try_put("x")
+    assert store.peek() == "x"
+    assert len(store) == 1
+
+
+def test_store_direct_handoff_to_waiting_getter():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    got = []
+
+    def consumer():
+        item = yield store.get()
+        got.append((sim.now, item))
+
+    sim.process(consumer())
+
+    def producer():
+        yield sim.timeout(2.0)
+        yield store.put("hello")
+
+    sim.process(producer())
+    sim.run()
+    assert got == [(2.0, "hello")]
+    assert len(store) == 0
+
+
+def test_store_invalid_capacity():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Store(sim, capacity=0)
