@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
-from ..sim import Simulator
+from ..sim import Interrupt, Simulator
 from .scheduler import LibraScheduler
 from .tags import RequestClass
 from .tracker import ResourceTracker
@@ -66,6 +66,9 @@ class OverflowReport:
     capacity_vops: float
     scale: float
     profiles: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: the policy's current capacity estimate; below the nominal
+    #: ``capacity_vops`` when a degraded device forced re-estimation
+    effective_capacity: float = 0.0
 
 
 class ResourcePolicy:
@@ -101,12 +104,36 @@ class ResourcePolicy:
         #: or [grant to] best-effort tenants" (§4.3)
         self.overage: Dict[str, float] = {}
         self._last_usage: Dict[str, float] = {}
+        # -- graceful degradation (see repro.faults) -----------------------
+        # The VOP floor is calibrated for a healthy device.  Under a
+        # sustained fault window (degraded bandwidth, latency injection)
+        # the device delivers fewer VOPs than the floor promises, so the
+        # policy re-estimates: when the scheduler is backlogged yet
+        # delivery stays below ``degrade_threshold`` of the current bound
+        # for ``degrade_intervals`` consecutive intervals, the effective
+        # capacity EWMAs down toward the delivered rate and allocations
+        # scale proportionally (an overflow report tells the higher
+        # layer).  Once delivery recovers, the estimate climbs back to
+        # nominal and allocations return to the reservations.
+        self.effective_capacity = capacity_vops
+        self.degrade_threshold = 0.6
+        self.degrade_intervals = 3
+        self.degrade_alpha = 0.5
+        self.recovery_alpha = 0.5
+        self.capacity_reestimates = 0
+        self._slow_intervals = 0
         self._stopped = False
-        sim.process(self._loop(), name="libra.policy")
+        self._proc = sim.process(self._loop(), name="libra.policy")
 
     def stop(self) -> None:
-        """Stop the provisioning loop (for multi-trial harnesses)."""
+        """Stop the provisioning loop (for multi-trial harnesses).
+
+        Interrupts the loop's pending interval sleep so the process
+        terminates now rather than at the next tick.
+        """
         self._stopped = True
+        if self._proc.is_alive:
+            self._proc.interrupt("policy stopped")
 
     # -- reservations ---------------------------------------------------------
 
@@ -119,17 +146,24 @@ class ResourcePolicy:
     def reservation(self, tenant: str) -> Reservation:
         return self._reservations.get(tenant, Reservation())
 
-    def _meter_overage(self) -> None:
-        """Bill VOP consumption beyond each tenant's allocation."""
+    def _meter_overage(self) -> float:
+        """Bill VOP consumption beyond each tenant's allocation.
+
+        Returns the total VOPs the device delivered this interval (all
+        tenants), which the degradation estimator consumes.
+        """
+        delivered = 0.0
         for tenant in self.scheduler.tenants:
             used = self.scheduler.usage(tenant).vops
             delta = used - self._last_usage.get(tenant, 0.0)
             self._last_usage[tenant] = used
+            delivered += delta
             entitled = self.scheduler.allocation(tenant) * self.interval
             if delta > entitled:
                 self.overage[tenant] = self.overage.get(tenant, 0.0) + (
                     delta - entitled
                 )
+        return delivered
 
     # -- admission control -----------------------------------------------------
 
@@ -154,7 +188,7 @@ class ResourcePolicy:
             for name, demand in self.estimated_demand().items()
             if name != tenant
         )
-        return others + self.admission_estimate(tenant, reservation) <= self.capacity_vops
+        return others + self.admission_estimate(tenant, reservation) <= self.provisionable
 
     def admit(self, tenant: str, reservation: Reservation) -> None:
         """Install a reservation, enforcing the capacity bound."""
@@ -169,13 +203,63 @@ class ResourcePolicy:
     # -- provisioning loop ---------------------------------------------------------
 
     def _loop(self):
-        while not self._stopped:
-            yield self.sim.timeout(self.interval)
-            self.reprovision()
+        try:
+            while not self._stopped:
+                yield self.sim.timeout(self.interval)
+                if self._stopped:
+                    return
+                self.reprovision()
+        except Interrupt:
+            return
+
+    @property
+    def provisionable(self) -> float:
+        """The capacity bound in force: min(nominal, effective)."""
+        return min(self.capacity_vops, self.effective_capacity)
+
+    def _observe_capacity(self, delivered: float) -> None:
+        """Re-estimate effective capacity from this interval's delivery.
+
+        Degrading requires *both* signals: the scheduler must be
+        backlogged (otherwise low delivery just means low demand) and
+        delivery must sit below ``degrade_threshold`` of the current
+        bound for ``degrade_intervals`` consecutive intervals (so a
+        single GC hiccup or fault blip does not shrink the estimate).
+        Recovery is the mirror EWMA toward nominal whenever either
+        signal clears.
+        """
+        nominal = self.capacity_vops
+        rate = delivered / self.interval
+        bound = self.provisionable
+        if self.scheduler.backlog > 0 and rate < self.degrade_threshold * bound:
+            self._slow_intervals += 1
+            if self._slow_intervals >= self.degrade_intervals:
+                floor = 0.05 * nominal
+                target = max(rate, floor)
+                updated = (
+                    (1.0 - self.degrade_alpha) * self.effective_capacity
+                    + self.degrade_alpha * target
+                )
+                updated = max(updated, floor)
+                if updated < self.effective_capacity:
+                    self.effective_capacity = updated
+                    self.capacity_reestimates += 1
+        else:
+            self._slow_intervals = 0
+            if self.effective_capacity < nominal:
+                self.effective_capacity = min(
+                    nominal,
+                    (1.0 - self.recovery_alpha) * self.effective_capacity
+                    + self.recovery_alpha * nominal,
+                )
+                if nominal - self.effective_capacity < 1e-6:
+                    self.effective_capacity = nominal
+                self.capacity_reestimates += 1
 
     def reprovision(self) -> None:
         """One policy pass: roll profiles and set scheduler allocations."""
-        self._meter_overage()
+        delivered = self._meter_overage()
+        self._observe_capacity(delivered)
         self.tracker.roll_interval()
         demands: Dict[str, float] = {}
         for tenant, reservation in self._reservations.items():
@@ -187,11 +271,13 @@ class ResourcePolicy:
                 demand += rate * self._unit_cost(tenant, request)
             demands[tenant] = demand
         total = sum(demands.values())
+        provisionable = self.provisionable
         scale = 1.0
-        if total > self.capacity_vops:
-            # Overbooked: penalize every tenant proportionally and tell
-            # the higher-level policy.
-            scale = self.capacity_vops / total
+        if total > provisionable:
+            # Overbooked (by demand, or by a degraded device shrinking
+            # the effective capacity): penalize every tenant
+            # proportionally and tell the higher-level policy.
+            scale = provisionable / total
             self.overflows += 1
             if self.on_overflow is not None:
                 self.on_overflow(
@@ -207,6 +293,7 @@ class ResourcePolicy:
                             }
                             for t in demands
                         },
+                        effective_capacity=self.effective_capacity,
                     )
                 )
         self.last_scale = scale

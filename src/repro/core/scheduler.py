@@ -35,7 +35,7 @@ from dataclasses import dataclass
 from typing import Callable, Deque, Dict, List, Optional
 from collections import deque
 
-from ..sim import Event, Simulator
+from ..sim import Event, Interrupt, Simulator
 from ..ssd import SsdDevice
 from .tags import IoTag, OpKind
 from .vop import CostModel
@@ -72,6 +72,8 @@ class TenantUsage:
     read_ops: int = 0
     write_ops: int = 0
     vops: float = 0.0
+    #: chunks whose device op failed (injected or emergent faults)
+    failed_ops: int = 0
 
     def snapshot(self) -> "TenantUsage":
         return TenantUsage(**vars(self))
@@ -156,11 +158,19 @@ class LibraScheduler:
         self.forced_rounds = 0
         #: VOPs that one nominal round distributes across tenants
         self._round_vops = cost_model.max_iop * self.config.round_seconds
-        sim.process(self._timeout_loop(), name="libra.round-timeout")
+        self._timeout_proc = sim.process(
+            self._timeout_loop(), name="libra.round-timeout"
+        )
 
     def stop(self) -> None:
-        """Stop background loops (for multi-trial harnesses)."""
+        """Stop background loops (for multi-trial harnesses).
+
+        Interrupts the round-timeout process so a stopped scheduler
+        leaves no live DES process behind and the event queue drains.
+        """
         self._stopped = True
+        if self._timeout_proc.is_alive:
+            self._timeout_proc.interrupt("scheduler stopped")
 
     # -- tenant management ---------------------------------------------------
 
@@ -198,6 +208,16 @@ class LibraScheduler:
     def queued(self, tenant_id: str) -> int:
         """Chunks waiting in the tenant's queue (diagnostics)."""
         return len(self._state(tenant_id).queue)
+
+    @property
+    def backlog(self) -> int:
+        """Chunks queued or in flight across all tenants.
+
+        The policy uses this as its saturation probe: a shortfall in
+        delivered VOPs only signals device degradation when work was
+        actually waiting.
+        """
+        return self._inflight + sum(len(s.queue) for s in self._order)
 
     def _state(self, tenant_id: str) -> _TenantState:
         try:
@@ -267,12 +287,15 @@ class LibraScheduler:
         """Advance rounds stuck behind very slow tenants (bounded delay)."""
         timeout = self.config.round_seconds * self.config.timeout_rounds
         last_round = -1
-        while not self._stopped:
-            yield self.sim.timeout(timeout)
-            if self.rounds == last_round and any(s.queue for s in self._order):
-                self._new_round(forced=True)
-                self._pump()
-            last_round = self.rounds
+        try:
+            while not self._stopped:
+                yield self.sim.timeout(timeout)
+                if self.rounds == last_round and any(s.queue for s in self._order):
+                    self._new_round(forced=True)
+                    self._pump()
+                last_round = self.rounds
+        except Interrupt:
+            return
 
     def _pump(self) -> None:
         """Dispatch chunks while device slots and eligible work remain."""
@@ -309,14 +332,24 @@ class LibraScheduler:
         else:
             completion = self.device.write(chunk.offset, chunk.size)
         completion.callbacks.append(
-            lambda _ev, s=state, c=chunk: self._complete(s, c)
+            lambda ev, s=state, c=chunk: self._complete(s, c, ev)
         )
 
-    def _complete(self, state: _TenantState, chunk: _Chunk) -> None:
+    def _complete(self, state: _TenantState, chunk: _Chunk, event: Event) -> None:
         self._inflight -= 1
         state.inflight -= 1
         task = chunk.task
         usage = state.usage
+        if not event.ok:
+            # Device fault: the chunk's VOP cost stays charged (the op
+            # consumed device time), and the whole task fails on its
+            # first failing chunk so the submitter can retry.
+            usage.failed_ops += 1
+            task.pending_chunks -= 1
+            if not task.done.triggered:
+                task.done.fail(event.value)
+            self._pump()
+            return
         usage.ops += 1
         usage.bytes += chunk.size
         if task.kind == OpKind.READ:
@@ -327,7 +360,7 @@ class LibraScheduler:
             cost = self.cost_model.cost(task.kind, chunk.size)
             self.io_observer(task.tag, task.kind, chunk.size, cost)
         task.pending_chunks -= 1
-        if task.pending_chunks == 0:
+        if task.pending_chunks == 0 and not task.done.triggered:
             usage.tasks += 1
             task.done.succeed()
         self._pump()

@@ -28,6 +28,7 @@ from typing import Dict, List, Optional
 
 from ..core.tags import InternalOp, IoTag, RequestClass
 from ..core.tracker import ResourceTracker
+from ..faults import CorruptionError, StorageFault
 from ..sim import Event, Simulator
 from ..ssd import SimFilesystem
 from .compaction import merge_entries, pick_compaction, split_outputs
@@ -71,6 +72,13 @@ class EngineConfig:
     #: filter reports "absent" — buying back GET amplification at the
     #: cost of filter memory (see bench_ablation_bloom).
     bloom_bits_per_key: int = 0
+    #: re-reads the engine attempts when a checksummed block read comes
+    #: back corrupt, before surfacing the CorruptionError
+    read_retries: int = 2
+    #: initial backoff before retrying a FLUSH/COMPACT that hit a
+    #: device fault (doubles per attempt; background work must outlast
+    #: transient fault windows rather than die)
+    fault_retry_backoff: float = 0.05
 
 
 @dataclass
@@ -93,6 +101,12 @@ class EngineStats:
     recovered_records: int = 0
     scans: int = 0
     scanned_entries: int = 0
+    # Failure handling (see repro.faults)
+    checksum_failures: int = 0
+    read_retries: int = 0
+    torn_records: int = 0
+    flush_retries: int = 0
+    compaction_aborts: int = 0
 
     def snapshot(self) -> "EngineStats":
         return EngineStats(**vars(self))
@@ -164,13 +178,17 @@ class LsmEngine:
                 if self._index_cache_hit(table):
                     self.stats.index_cache_hits += 1
                 else:
-                    yield table.read_index_block(key, tag)
+                    yield from self._read_verified(
+                        lambda: table.read_index_block(key, tag)
+                    )
                 idx = table.find(key)
                 if idx is not None:
                     size = table.sizes[idx]
                     if size == TOMBSTONE:
                         return self._hit_or_miss(TOMBSTONE)
-                    yield table.read_value(idx, tag)
+                    yield from self._read_verified(
+                        lambda: table.read_value(idx, tag)
+                    )
                     return self._hit_or_miss(size)
         finally:
             for table in candidates:
@@ -214,9 +232,9 @@ class LsmEngine:
             self._ref(table)
         try:
             for table in tables:
-                read = table.read_range(lo, hi, tag)
-                if read is not None:
-                    yield read
+                yield from self._read_verified(
+                    lambda: table.read_range(lo, hi, tag)
+                )
                 for idx in table.range_indices(lo, hi):
                     merged[table.keys[idx]] = table.sizes[idx]
         finally:
@@ -238,7 +256,39 @@ class LsmEngine:
         self.stats.scanned_entries += len(results)
         return results
 
+    # -- read verification ---------------------------------------------------------
+
+    def _read_verified(self, make_read):
+        """DES sub-generator: a block read with checksum verification.
+
+        Every SSTable block carries a checksum (as LevelDB's per-block
+        CRC32 does); a read that fails verification surfaces as
+        :class:`CorruptionError`, which a bounded number of re-reads can
+        clear when the corruption was transient (ECC/transport).  The
+        factory returns a fresh read event per attempt, or None when
+        the source holds nothing to read.
+        """
+        attempts = 0
+        while True:
+            event = make_read()
+            if event is None:
+                return
+            try:
+                yield event
+                return
+            except CorruptionError:
+                self.stats.checksum_failures += 1
+                if attempts >= self.config.read_retries:
+                    raise
+                attempts += 1
+                self.stats.read_retries += 1
+
     # -- introspection -----------------------------------------------------------
+
+    @property
+    def wal(self) -> Wal:
+        """The live write-ahead log (chaos scripts probe ``wal.busy``)."""
+        return self._wal
 
     def eligible_count(self, key: int) -> int:
         """Files a GET for ``key`` would probe right now (diagnostics)."""
@@ -290,11 +340,24 @@ class LsmEngine:
 
     def _flush(self, memtable: Memtable, old_wal: Wal):
         tag = IoTag(self.tenant, RequestClass.PUT, InternalOp.FLUSH)
-        table = yield from self._builder.build(
-            ((key, entry.size) for key, entry in memtable.sorted_entries()),
-            tag,
-            name=self._next_file_name(),
-        )
+        delay = self.config.fault_retry_backoff
+        while True:
+            # A fresh entries generator per attempt: a faulted build
+            # consumes the previous one (and cleans up its partial file).
+            try:
+                table = yield from self._builder.build(
+                    ((key, entry.size) for key, entry in memtable.sorted_entries()),
+                    tag,
+                    name=self._next_file_name(),
+                )
+                break
+            except StorageFault:
+                # The memtable (and its WAL) stay live until the table
+                # lands, so a flush must outlast transient device
+                # faults — back off and rebuild.
+                self.stats.flush_retries += 1
+                yield self.sim.timeout(delay)
+                delay = min(delay * 2, 1.0)
         self.version.add_l0(table)
         # Wait out any group commit still landing in the old log before
         # deleting it (a concurrent PUT may have appended there moments
@@ -311,27 +374,44 @@ class LsmEngine:
 
     # -- crash recovery ------------------------------------------------------------
 
-    def crash_and_recover(self, tag: Optional[IoTag] = None):
-        """DES generator: simulate a crash and recover from the WAL.
+    def crash(self) -> int:
+        """Simulate a process crash, instantly (no IO).
 
-        Both in-memory tables are dropped (as a process crash would),
-        then the live WAL is scanned sequentially (real read IO, tagged
-        as PUT recovery work) and replayed into a fresh memtable.  The
-        engine quiesces an in-flight FLUSH first: its memtable is
+        Volatile state is gone: the live memtable is dropped and the
+        live WAL's tail is torn — queued and in-flight group commits
+        are discarded, failing their (never-acknowledged) waiters with
+        :class:`~repro.faults.CrashError` so callers re-issue.  Durable
+        state (acknowledged WAL records, SSTables) is untouched.
+        Returns the number of torn (unacknowledged) records.
+        """
+        torn = self._wal.crash()
+        self.stats.torn_records += torn
+        self.memtable = Memtable(self.config.memtable_bytes)
+        return torn
+
+    def recover(self, tag: Optional[IoTag] = None):
+        """DES generator: rebuild volatile state from the WAL after a crash.
+
+        The engine quiesces an in-flight FLUSH first: its memtable is
         already durable in the immutable WAL and the flush completes it
         to an SSTable, which recovery keeps (LevelDB recovers any log
         whose table did not land; completing the flush is equivalent
-        and avoids tearing a half-written table out of the DES).
+        and avoids tearing a half-written table out of the DES).  Then
+        the live WAL is scanned sequentially (real read IO, tagged as
+        PUT recovery work) and its durable records — exactly the
+        acknowledged writes; the torn tail has no committed checksums —
+        are replayed into a fresh memtable.
 
-        Returns the number of replayed records.
+        Returns the number of replayed records.  Device faults during
+        the scan propagate; the storage node retries recovery.
         """
         tag = tag or IoTag(self.tenant, RequestClass.PUT)
         while self.immutable is not None:
             yield self._flush_done
-        # Crash: volatile state gone.
         self.memtable = Memtable(self.config.memtable_bytes)
-        # Recovery: scan and replay the live WAL.
-        records = yield from self._wal.scan(tag)
+        records = yield from self._wal.scan(
+            tag, read_retries=self.config.read_retries + 2
+        )
         for key, size in records:
             self._sequence += 1
             self.memtable.put(key, size, self._sequence)
@@ -340,6 +420,12 @@ class LsmEngine:
         if self.memtable.full and self.immutable is None:
             self._rotate(tag.request)
         return len(records)
+
+    def crash_and_recover(self, tag: Optional[IoTag] = None):
+        """DES generator: :meth:`crash` then :meth:`recover` back-to-back."""
+        self.crash()
+        replayed = yield from self.recover(tag)
+        return replayed
 
     # -- compaction -----------------------------------------------------------------
 
@@ -361,34 +447,54 @@ class LsmEngine:
 
     def _compact(self, job):
         tag = IoTag(self.tenant, RequestClass.PUT, InternalOp.COMPACT)
+        aborted = False
+        outputs: List[SsTable] = []
         try:
-            # Sequentially read every input file.
-            for table in job.inputs:
-                pos = 0
-                while pos < table.file.size:
-                    chunk = min(self.config.io_chunk, table.file.size - pos)
-                    yield table.file.read(pos, chunk, tag=tag)
-                    pos += chunk
-                self.stats.compaction_input_bytes += table.file.size
-            drop_tombstones = job.target_level >= self.version.max_levels - 1
-            outputs: List[SsTable] = []
-            merged = merge_entries(job.inputs, drop_tombstones=drop_tombstones)
-            for batch in split_outputs(merged, self.config.max_output_file_bytes):
-                table = yield from self._builder.build(
-                    iter(batch), tag, name=self._next_file_name()
-                )
-                outputs.append(table)
-            self.version.remove(job.inputs)
-            self.version.install(job.target_level, outputs)
-            for table in job.inputs:
-                self._doom(table)
-            self.stats.compactions += 1
-            if self.tracker is not None:
-                self.tracker.note_internal_op(self.tenant, InternalOp.COMPACT)
+            try:
+                # Sequentially read every input file.
+                for table in job.inputs:
+                    pos = 0
+                    while pos < table.file.size:
+                        chunk = min(self.config.io_chunk, table.file.size - pos)
+                        yield table.file.read(pos, chunk, tag=tag)
+                        pos += chunk
+                    self.stats.compaction_input_bytes += table.file.size
+                drop_tombstones = job.target_level >= self.version.max_levels - 1
+                merged = merge_entries(job.inputs, drop_tombstones=drop_tombstones)
+                for batch in split_outputs(merged, self.config.max_output_file_bytes):
+                    table = yield from self._builder.build(
+                        iter(batch), tag, name=self._next_file_name()
+                    )
+                    outputs.append(table)
+                self.version.remove(job.inputs)
+                self.version.install(job.target_level, outputs)
+                for table in job.inputs:
+                    self._doom(table)
+                self.stats.compactions += 1
+                if self.tracker is not None:
+                    self.tracker.note_internal_op(self.tenant, InternalOp.COMPACT)
+            except StorageFault:
+                # Abort cleanly: inputs stay installed, finished outputs
+                # are deleted, and the job is retried after a backoff
+                # (compaction is idempotent — nothing was published).
+                aborted = True
+                self.stats.compaction_aborts += 1
+                for table in outputs:
+                    self.fs.delete(table.file)
         finally:
             self._compacting = False
             done, self._compact_done = self._compact_done, self.sim.event()
             done.succeed()
+        if aborted:
+            self.sim.process(
+                self._compact_retry_later(), name=f"{self.tenant}.compact-retry"
+            )
+        else:
+            self._maybe_compact()
+
+    def _compact_retry_later(self):
+        """Re-attempt compaction after a faulted job backed off."""
+        yield self.sim.timeout(self.config.fault_retry_backoff)
         self._maybe_compact()
 
     def _next_file_name(self) -> str:

@@ -185,11 +185,18 @@ class TableBuilder:
         index_region = ((index_bytes + BLOCK_SIZE - 1) // BLOCK_SIZE) * BLOCK_SIZE
         total = index_region + pos
         file = self.fs.create(name)
-        remaining = max(total, BLOCK_SIZE)
-        while remaining > 0:
-            chunk = min(self.write_chunk, remaining)
-            yield file.append(chunk, tag=tag)
-            remaining -= chunk
+        try:
+            remaining = max(total, BLOCK_SIZE)
+            while remaining > 0:
+                chunk = min(self.write_chunk, remaining)
+                yield file.append(chunk, tag=tag)
+                remaining -= chunk
+        except BaseException:
+            # A failed (or interrupted) build must not leak the partial
+            # file: delete it so the extents return to the allocator and
+            # the caller can retry under the same name.
+            self.fs.delete(file)
+            raise
         offsets = [index_region + o for o in offsets]
         bloom = None
         if self.bloom_bits_per_key > 0:

@@ -1,4 +1,4 @@
-"""Write-ahead log with group commit.
+"""Write-ahead log with group commit, checksummed records, and torn tails.
 
 Every PUT first lands in the append-only WAL (§3.1) as a synchronous
 write — the paper's prototype issues these with O_SYNC/O_DIRECT and
@@ -9,6 +9,17 @@ PUTs from paying a full device round-trip each.
 
 WAL appends are the "PUT write IO" component of Fig 2: small records
 make sub-page tail writes whose cost-per-byte is high.
+
+Failure handling: records carry checksums (modeled, like SSTable
+blocks, as the mechanism that converts torn or corrupt bytes into
+detectable invalidity rather than as payload math).  A group commit
+whose device write fails drops the whole batch — each waiter's append
+event fails with the device error, and the half-written bytes are a
+dead region the recovery scan skips because no checksummed record
+header commits them.  :meth:`crash` tears the tail: in-flight and
+queued records are discarded and their (never-acknowledged) waiters
+fail with :class:`~repro.faults.CrashError`, so callers re-issue —
+acknowledged records are exactly the ``entries`` list and survive.
 """
 
 from __future__ import annotations
@@ -16,7 +27,8 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from ..core.tags import IoTag
-from ..sim import Event, Simulator
+from ..faults import CorruptionError, CrashError, DeviceError, StorageFault
+from ..sim import Event, Process, Simulator
 from ..ssd import SimFile, SimFilesystem
 
 __all__ = ["Wal"]
@@ -30,9 +42,16 @@ class Wal:
         self.fs = fs
         self.file: SimFile = fs.create(name)
         self._pending: List[Tuple[int, Event, Optional[Tuple[int, int]]]] = []
+        self._inflight: List[Tuple[int, Event, Optional[Tuple[int, int]]]] = []
         self._committing = False
+        self._commit_proc: Optional[Process] = None
         self.records = 0
         self.batches = 0
+        self.failed_batches = 0
+        self.torn_records = 0
+        #: bytes appended for batches that failed or were torn — dead
+        #: regions whose record checksums never commit them
+        self.torn_bytes = 0
         #: *durable* (key, size) records in commit order — exactly what
         #: a crash-recovery scan of this log reconstructs; records whose
         #: group commit has not completed are not yet in here
@@ -44,13 +63,21 @@ class Wal:
         """Bytes durably appended so far."""
         return self.file.size
 
+    @property
+    def busy(self) -> bool:
+        """True while a group commit is queued or in flight."""
+        return self._committing or bool(self._pending)
+
     def append(
         self, nbytes: int, tag: IoTag, record: Optional[Tuple[int, int]] = None
     ) -> Event:
         """Durably append a record; the event fires once it is on disk.
 
         ``record`` is the logical (key, size) payload retained for crash
-        recovery; pass None for opaque appends.
+        recovery; pass None for opaque appends.  The event *fails* (with
+        a device error or :class:`CrashError`) when the record's group
+        commit does not land — the caller was never acknowledged and
+        must re-issue.
         """
         if nbytes <= 0:
             raise ValueError(f"record size must be positive, got {nbytes}")
@@ -59,26 +86,68 @@ class Wal:
         self.records += 1
         if not self._committing:
             self._committing = True
-            self.sim.process(self._commit_loop(tag), name=f"wal.{self.file.name}")
+            self._commit_proc = self.sim.process(
+                self._commit_loop(tag), name=f"wal.{self.file.name}"
+            )
         return done
 
     def _commit_loop(self, tag: IoTag):
         try:
             while self._pending:
                 batch, self._pending = self._pending, []
+                self._inflight = batch
                 total = sum(nbytes for nbytes, _ev, _rec in batch)
                 self.batches += 1
-                yield self.file.append(total, tag=tag)
+                try:
+                    yield self.file.append(total, tag=tag)
+                except StorageFault as exc:
+                    # The group write failed: the batch's bytes are a
+                    # torn region; fail every waiter so they re-issue.
+                    self.failed_batches += 1
+                    self.torn_bytes += total
+                    self._inflight = []
+                    for _nbytes, ev, _record in batch:
+                        if not ev.triggered:
+                            ev.fail(exc)
+                    continue
+                self._inflight = []
                 for _nbytes, ev, record in batch:
                     if record is not None:
                         self.entries.append(record)
                     ev.succeed()
         finally:
             self._committing = False
+            self._commit_proc = None
             if not self._pending:
                 waiters, self._drain_waiters = self._drain_waiters, []
                 for waiter in waiters:
                     waiter.succeed()
+
+    def crash(self) -> int:
+        """Tear the log tail as a process crash would; return records lost.
+
+        The in-flight group commit (if any) and every queued record are
+        discarded: their bytes either never reached the device or form a
+        torn region with no committed checksum, and their waiters —
+        none of whom were acknowledged — fail with :class:`CrashError`.
+        Durable ``entries`` are untouched.
+        """
+        torn = self._inflight + self._pending
+        self._inflight, self._pending = [], []
+        if self._commit_proc is not None and self._commit_proc.is_alive:
+            self._commit_proc.interrupt("wal crash")
+        self._commit_proc = None
+        self._committing = False
+        exc = CrashError(f"wal {self.file.name}: crash tore {len(torn)} records")
+        for nbytes, ev, _record in torn:
+            self.torn_bytes += nbytes
+            if not ev.triggered:
+                ev.fail(exc)
+        self.torn_records += len(torn)
+        waiters, self._drain_waiters = self._drain_waiters, []
+        for waiter in waiters:
+            waiter.succeed()
+        return len(torn)
 
     def quiesced(self) -> Event:
         """Event that fires once no group commit is pending or running.
@@ -103,14 +172,30 @@ class Wal:
         self.fs.delete(self.file)
         self.entries = []
 
-    def scan(self, tag: IoTag, chunk: int = 256 * 1024):
+    def scan(self, tag: IoTag, chunk: int = 256 * 1024, read_retries: int = 4):
         """DES generator: sequentially read the whole log (recovery IO).
 
-        Returns the durable (key, size) records.
+        Corrupt and transiently-failed reads are retried up to
+        ``read_retries`` times *per chunk* (checksummed records make
+        corruption detectable; a re-read clears transient ECC/transport
+        faults) — chunk-level retry, not scan-level, so a long log
+        recovering through a fault window does not restart from byte
+        zero on every hiccup.  A chunk that stays unreadable propagates
+        to the caller, which owns recovery-level retries.  Returns the
+        durable (key, size) records — the torn tail, having no
+        committed checksums, contributes read IO but no records.
         """
         pos = 0
         while pos < self.file.size:
             length = min(chunk, self.file.size - pos)
-            yield self.file.read(pos, length, tag=tag)
+            attempts = 0
+            while True:
+                try:
+                    yield self.file.read(pos, length, tag=tag)
+                    break
+                except (CorruptionError, DeviceError):
+                    attempts += 1
+                    if attempts > read_retries:
+                        raise
             pos += length
         return list(self.entries)

@@ -1,0 +1,41 @@
+"""Deterministic fault injection and the stack's failure taxonomy.
+
+The DES gives this reproduction something real hardware cannot:
+perfectly reproducible chaos.  A :class:`FaultPlan` schedules device
+misbehavior (transient errors, corrupt reads, latency spikes, degraded
+bandwidth, stalls) in simulated time; a :class:`FaultInjector` applies
+it inside :class:`~repro.ssd.device.SsdDevice`; and the exception types
+in :mod:`repro.faults.errors` carry failures up the stack to the layers
+that handle them (engine checksum re-reads, node retries/timeouts,
+policy capacity degradation).
+"""
+
+from .errors import (
+    TRANSIENT_FAULTS,
+    CorruptionError,
+    CrashError,
+    DeviceError,
+    DeviceReadError,
+    DeviceWriteError,
+    RequestTimeout,
+    RetriesExhausted,
+    StorageFault,
+)
+from .injector import FaultInjector
+from .plan import FaultKind, FaultPlan, FaultWindow
+
+__all__ = [
+    "TRANSIENT_FAULTS",
+    "CorruptionError",
+    "CrashError",
+    "DeviceError",
+    "DeviceReadError",
+    "DeviceWriteError",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultWindow",
+    "RequestTimeout",
+    "RetriesExhausted",
+    "StorageFault",
+]

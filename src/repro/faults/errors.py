@@ -1,0 +1,76 @@
+"""Failure taxonomy for the storage stack.
+
+Every injected or emergent fault surfaces as one of these exceptions so
+each layer can decide what it owns: the engine re-reads on checksum
+mismatches, the node retries transient device errors with backoff, and
+only :class:`RetriesExhausted` (a permanent failure) escapes to the
+application.  Events failed with these exceptions propagate through the
+DES kernel exactly like IO completions — a process yielding on a failed
+IO has the exception thrown at its yield point.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "StorageFault",
+    "DeviceError",
+    "DeviceReadError",
+    "DeviceWriteError",
+    "CorruptionError",
+    "CrashError",
+    "RequestTimeout",
+    "RetriesExhausted",
+    "TRANSIENT_FAULTS",
+]
+
+
+class StorageFault(Exception):
+    """Base class for every fault the storage stack can raise."""
+
+
+class DeviceError(StorageFault):
+    """A device-level IO failure (transient unless stated otherwise)."""
+
+
+class DeviceReadError(DeviceError):
+    """The device failed to complete a read (media/ECC/transport error)."""
+
+
+class DeviceWriteError(DeviceError):
+    """The device failed to complete a write or program operation."""
+
+
+class CorruptionError(StorageFault):
+    """A checksum-verified read returned data that fails verification.
+
+    The simulation has no payload bytes; checksums are modeled as the
+    *detection* mechanism that converts silent corruption into a typed
+    error at the reading layer (LevelDB's per-block CRC32 plays the same
+    role).  A re-read may succeed: transient bit flips and transport
+    corruption resolve on retry, which is what the engine exploits.
+    """
+
+
+class CrashError(StorageFault):
+    """An acknowledgement was dropped because the serving engine crashed.
+
+    Raised into writers whose WAL group commit was torn by a crash: the
+    record may or may not be durable, but it was never acknowledged, so
+    the caller must re-issue (the at-least-once contract recovery code
+    relies on).
+    """
+
+
+class RequestTimeout(StorageFault):
+    """A request exceeded its per-attempt latency budget."""
+
+
+class RetriesExhausted(StorageFault):
+    """A request failed permanently after the node's retry budget.
+
+    ``__cause__`` carries the final underlying fault.
+    """
+
+
+#: fault classes a storage node may transparently retry
+TRANSIENT_FAULTS = (DeviceError, CorruptionError, CrashError, RequestTimeout)

@@ -1,0 +1,84 @@
+"""Per-device fault injector.
+
+The injector owns the per-op randomness of a :class:`FaultPlan` and the
+fault-side counters of :class:`~repro.ssd.stats.SsdStats`.  The device
+consults it at op admission: arrival time decides which windows apply,
+and a dedicated seeded ``random.Random`` draws the error outcomes.
+Draws happen only while an applicable window is active, so runs without
+faults consume no randomness and runs with the same plan, seed, and op
+sequence inject byte-identical faults.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from .errors import CorruptionError, DeviceReadError, DeviceWriteError
+from .plan import FaultKind, FaultPlan
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Evaluates a :class:`FaultPlan` against individual device ops."""
+
+    def __init__(self, plan: FaultPlan, name: str = "ssd"):
+        self.plan = plan
+        self.name = name
+        #: decoupled from the device/FTL seed so adding fault draws
+        #: never perturbs preconditioning or placement randomness
+        self._rng = random.Random((plan.seed << 1) ^ 0x5EEDFA17)
+        self.injected_read_errors = 0
+        self.injected_write_errors = 0
+        self.injected_corruptions = 0
+
+    # -- timing effects --------------------------------------------------------
+
+    def stall_until(self, now: float) -> float:
+        """Admission time for an op arriving at ``now`` (>= now)."""
+        return self.plan.stall_until(now)
+
+    def service_scale(self, now: float) -> float:
+        return self.plan.service_scale(now)
+
+    def extra_latency(self, now: float) -> float:
+        return self.plan.extra_latency(now)
+
+    # -- error outcomes --------------------------------------------------------
+
+    def draw_read_fault(self, now: float, offset: int, size: int) -> Optional[Exception]:
+        """Fault (if any) for a read admitted at ``now``.
+
+        Device errors take precedence over corruption: an op that fails
+        outright never delivers data to corrupt.
+        """
+        if self._roll(now, FaultKind.READ_ERROR):
+            self.injected_read_errors += 1
+            return DeviceReadError(
+                f"{self.name}: injected read error at t={now:.6f} "
+                f"(offset={offset}, size={size})"
+            )
+        if self._roll(now, FaultKind.CORRUPT_READ):
+            self.injected_corruptions += 1
+            return CorruptionError(
+                f"{self.name}: injected corrupt read at t={now:.6f} "
+                f"(offset={offset}, size={size})"
+            )
+        return None
+
+    def draw_write_fault(self, now: float, offset: int, size: int) -> Optional[Exception]:
+        """Fault (if any) for a write admitted at ``now``."""
+        if self._roll(now, FaultKind.WRITE_ERROR):
+            self.injected_write_errors += 1
+            return DeviceWriteError(
+                f"{self.name}: injected write error at t={now:.6f} "
+                f"(offset={offset}, size={size})"
+            )
+        return None
+
+    def _roll(self, now: float, kind: FaultKind) -> bool:
+        for window in self.plan.active(now, kind):
+            if self._rng.random() < window.probability:
+                return True
+        return False

@@ -22,7 +22,14 @@ from ..core.tags import IoTag, RequestClass
 from ..core.tracker import ResourceTracker
 from ..core.vop import CostModel, make_cost_model
 from ..engine import EngineConfig, LsmEngine
-from ..sim import Simulator
+from ..faults import (
+    TRANSIENT_FAULTS,
+    FaultPlan,
+    RequestTimeout,
+    RetriesExhausted,
+    StorageFault,
+)
+from ..sim import Event, Simulator
 from ..ssd import SimFilesystem, SsdDevice, SsdProfile, get_profile
 from .cache import ObjectCache
 from .tenant import LatencyRecorder, RequestStats, TenantDescriptor
@@ -46,6 +53,15 @@ class NodeConfig:
     cache_bytes: int = 0
     engine: EngineConfig = None  # type: ignore[assignment]
     scheduler: Optional[SchedulerConfig] = None
+    #: transparent retries per request before RetriesExhausted surfaces
+    max_retries: int = 4
+    #: initial retry backoff in seconds (doubles per attempt)
+    retry_backoff: float = 0.002
+    #: per-attempt latency budget; None disables the timeout race (the
+    #: default keeps healthy runs on the exact seed event ordering)
+    request_timeout: Optional[float] = None
+    #: backoff between recovery attempts after a crash
+    recovery_backoff: float = 0.01
 
     def __post_init__(self):
         if self.engine is None:
@@ -63,12 +79,13 @@ class StorageNode:
         seed: int = 0,
         name: str = "node0",
         on_overflow: Optional[Callable[[OverflowReport], None]] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         self.sim = sim
         self.name = name
         self.profile = get_profile(profile) if isinstance(profile, str) else profile
         self.config = config or NodeConfig()
-        self.device = SsdDevice(sim, self.profile, seed=seed)
+        self.device = SsdDevice(sim, self.profile, seed=seed, fault_plan=fault_plan)
         calibration = reference_calibration(self.profile)
         self.cost_model: CostModel = make_cost_model(self.config.cost_model, calibration)
         self.tracker = ResourceTracker()
@@ -103,6 +120,9 @@ class StorageNode:
         self.engines: Dict[str, LsmEngine] = {}
         self.request_stats: Dict[str, RequestStats] = {}
         self.latencies: Dict[str, LatencyRecorder] = {}
+        #: tenants whose engine is down (crashed, not yet restarted);
+        #: requests wait on the tenant's restart event instead of failing
+        self._down: Dict[str, Event] = {}
 
     # -- tenant lifecycle ------------------------------------------------------
 
@@ -163,8 +183,9 @@ class StorageNode:
                 self.request_stats[tenant].cache_hits += 1
                 self._account(tenant, "get", cached, RequestClass.GET, started)
                 return cached
-        size = yield from self.engines[tenant].get(
-            key, tag=IoTag(tenant, RequestClass.GET)
+        size = yield from self._execute(
+            tenant,
+            lambda: self.engines[tenant].get(key, tag=IoTag(tenant, RequestClass.GET)),
         )
         if size is not None and self.cache is not None:
             self.cache.put(tenant, key, size)
@@ -172,10 +193,23 @@ class StorageNode:
         return size
 
     def put(self, tenant: str, key: int, size: int):
-        """PUT: write-through cache update + durable engine write."""
+        """PUT: write-through cache update + durable engine write.
+
+        The completion contract is an *acknowledgement*: when this
+        generator returns, the record's group commit landed and it will
+        survive a crash.  A failed attempt is retried transparently; a
+        timed-out or crashed attempt may or may not be durable, but the
+        caller was not acknowledged and retrying is safe (the engine is
+        last-writer-wins per key).
+        """
         self._descriptor(tenant)
         started = self.sim.now
-        yield from self.engines[tenant].put(key, size, tag=IoTag(tenant, RequestClass.PUT))
+        yield from self._execute(
+            tenant,
+            lambda: self.engines[tenant].put(
+                key, size, tag=IoTag(tenant, RequestClass.PUT)
+            ),
+        )
         if self.cache is not None:
             self.cache.put(tenant, key, size)
         self._account(tenant, "put", size, RequestClass.PUT, started)
@@ -188,8 +222,11 @@ class StorageNode:
         """
         self._descriptor(tenant)
         started = self.sim.now
-        results = yield from self.engines[tenant].scan(
-            lo, hi, tag=IoTag(tenant, RequestClass.GET), limit=limit
+        results = yield from self._execute(
+            tenant,
+            lambda: self.engines[tenant].scan(
+                lo, hi, tag=IoTag(tenant, RequestClass.GET), limit=limit
+            ),
         )
         total_bytes = sum(size for _key, size in results) or 1024
         self._account(tenant, "get", total_bytes, RequestClass.GET, started)
@@ -199,10 +236,118 @@ class StorageNode:
         """DELETE: tombstone write; invalidates the cache."""
         self._descriptor(tenant)
         started = self.sim.now
-        yield from self.engines[tenant].delete(key, tag=IoTag(tenant, RequestClass.DELETE))
+        yield from self._execute(
+            tenant,
+            lambda: self.engines[tenant].delete(
+                key, tag=IoTag(tenant, RequestClass.DELETE)
+            ),
+        )
         if self.cache is not None:
             self.cache.invalidate(tenant, key)
         self._account(tenant, "delete", 1024, RequestClass.DELETE, started)
+
+    # -- failure handling ------------------------------------------------------
+
+    def _execute(self, tenant: str, attempt_factory):
+        """DES sub-generator: run one engine op under the failure policy.
+
+        Transient faults (device errors, corruption that out-ran the
+        engine's re-reads, torn-commit crashes, per-attempt timeouts)
+        are retried with exponential backoff up to ``max_retries``;
+        while the tenant's engine is down the request waits for the
+        restart instead of burning retries.  Exhaustion surfaces as
+        :class:`RetriesExhausted` with the final fault as its cause.
+        """
+        cfg = self.config
+        stats = self.request_stats[tenant]
+        attempt = 0
+        while True:
+            down = self._down.get(tenant)
+            if down is not None:
+                stats.crash_waits += 1
+                yield down
+                continue
+            try:
+                result = yield from self._bounded(tenant, attempt_factory())
+                return result
+            except TRANSIENT_FAULTS as exc:
+                attempt += 1
+                stats.retries += 1
+                if attempt > cfg.max_retries:
+                    stats.errors += 1
+                    raise RetriesExhausted(
+                        f"{self.name}/{tenant}: request failed after "
+                        f"{cfg.max_retries} retries"
+                    ) from exc
+                yield self.sim.timeout(cfg.retry_backoff * (2 ** (attempt - 1)))
+
+    def _bounded(self, tenant: str, gen):
+        """Drive one attempt, racing it against the per-attempt budget.
+
+        Without a budget the attempt runs inline (``yield from``) so
+        healthy nodes keep the exact event ordering of the unbounded
+        path.  With one, the attempt runs as a child process raced
+        against a timeout; on expiry the attempt is interrupted (its
+        cleanup handlers run at the interrupt point) and
+        :class:`RequestTimeout` is raised for the retry loop.
+        """
+        budget = self.config.request_timeout
+        if budget is None:
+            result = yield from gen
+            return result
+        proc = self.sim.process(gen, name=f"{tenant}.attempt")
+        timer = self.sim.timeout(budget)
+        yield self.sim.any_of([proc, timer])
+        if proc.triggered:
+            if not proc.ok:
+                raise proc.value
+            return proc.value
+        self.request_stats[tenant].timeouts += 1
+        if proc.is_alive:
+            proc.interrupt("request timeout")
+        raise RequestTimeout(
+            f"{self.name}/{tenant}: attempt exceeded {budget:.3f}s budget"
+        )
+
+    def crash(self, tenant: str) -> int:
+        """Crash a tenant's engine (instant, no IO); returns torn records.
+
+        Volatile state is dropped and the WAL tail torn (unacknowledged
+        writers fail with CrashError and re-issue via the retry path).
+        Until :meth:`restart` completes, the tenant's requests wait on
+        the restart event rather than erroring.
+        """
+        self._descriptor(tenant)
+        if tenant not in self._down:
+            self._down[tenant] = self.sim.event()
+        self.request_stats[tenant].crashes += 1
+        return self.engines[tenant].crash()
+
+    def restart(self, tenant: str):
+        """DES generator: recover a crashed tenant engine and reopen it.
+
+        Recovery scans the WAL (real read IO); device faults during the
+        scan are retried with backoff until recovery lands — a storage
+        node must come back.  Returns the number of replayed records.
+        """
+        self._descriptor(tenant)
+        attempt = 0
+        while True:
+            try:
+                replayed = yield from self.engines[tenant].recover(
+                    tag=IoTag(tenant, RequestClass.PUT)
+                )
+                break
+            except StorageFault:
+                attempt += 1
+                self.request_stats[tenant].retries += 1
+                yield self.sim.timeout(
+                    self.config.recovery_backoff * min(2 ** (attempt - 1), 64)
+                )
+        reopened = self._down.pop(tenant, None)
+        if reopened is not None:
+            reopened.succeed()
+        return replayed
 
     def _account(
         self, tenant: str, kind: str, size: int, request: RequestClass, started: float

@@ -73,6 +73,14 @@ class RequestStats:
     get_units: float = 0.0
     put_units: float = 0.0
     cache_hits: int = 0
+    # Failure handling (see repro.faults): transparent retry attempts,
+    # per-attempt timeout expiries, permanent failures surfaced to the
+    # application, engine crashes, and requests that waited out a crash.
+    retries: int = 0
+    timeouts: int = 0
+    errors: int = 0
+    crashes: int = 0
+    crash_waits: int = 0
 
     def note(self, kind: str, size: int) -> None:
         units = max(size / NORMALIZED_REQUEST_BYTES, 1.0)

@@ -26,12 +26,20 @@ Stage queueing uses reservation timestamps rather than server processes:
 an op reserves ``start = max(now, stage_free_at)`` and waits until its
 finish time.  This is exact for FIFO deterministic servers and keeps the
 event count per IO to a handful.
+
+When constructed with a :class:`~repro.faults.FaultPlan`, the device
+consults a :class:`~repro.faults.FaultInjector` at op admission: stall
+windows delay admission, degraded-bandwidth windows scale channel
+service, latency windows pad completion, and error/corruption windows
+fail the op (raised at completion time, after the op has occupied the
+stages it reserved — a failing op still consumes device time).
 """
 
 from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from ..faults import CorruptionError, FaultInjector, FaultPlan
 from ..sim import Event, Semaphore, Simulator
 from .ftl import Ftl
 from .profiles import SsdProfile
@@ -50,11 +58,15 @@ class SsdDevice:
         seed: int = 0,
         precondition: bool = True,
         age_factor: float = 2.0,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         self.sim = sim
         self.profile = profile
         self.ftl = Ftl(profile, seed=seed)
         self.stats = SsdStats()
+        self.faults: Optional[FaultInjector] = (
+            FaultInjector(fault_plan, name=profile.name) if fault_plan is not None else None
+        )
         self._ncq = Semaphore(sim, profile.queue_depth, name=f"{profile.name}.ncq")
         self._ctrl_free_at = 0.0
         self._chan_free_at = [0.0] * profile.channels
@@ -93,16 +105,27 @@ class SsdDevice:
     def _do_read(self, offset: int, size: int):
         yield self._ncq.acquire()
         try:
+            # Faults are drawn at admission (windows apply at op
+            # arrival) but raised at completion: a failing op still
+            # occupies the controller and channels for its service.
+            scale, extra, fault = yield from self._admit_faults(offset, size)
             ready = self._reserve_controller(self.profile.ctrl_overhead_read, size)
             finish = ready
             for chan, _pages, nbytes in self.ftl.read_channels(offset, size):
                 service = (
                     self.profile.read_access
                     + nbytes * self.profile.read_byte_cost
-                )
+                ) * scale
                 finish = max(finish, self._reserve_channel(ready, chan, service))
+            finish += extra
             if finish > self.sim.now:
                 yield self.sim.timeout(finish - self.sim.now)
+            if fault is not None:
+                if isinstance(fault, CorruptionError):
+                    self.stats.corrupt_reads += 1
+                else:
+                    self.stats.read_faults += 1
+                raise fault
             self.stats.reads += 1
             self.stats.read_bytes += size
         finally:
@@ -117,6 +140,7 @@ class SsdDevice:
             while self.ftl.host_starved:
                 self._maybe_start_gc()
                 yield self._gc_progress
+            scale, extra, fault = yield from self._admit_faults(offset, size, write=True)
             ready = self._reserve_controller(self.profile.ctrl_overhead_write, size)
             plan = self.ftl.host_write(offset, size)
             finish = ready
@@ -124,15 +148,47 @@ class SsdDevice:
                 service = (
                     self.profile.prog_latency
                     + pages * self.profile.page_size * self.profile.write_byte_cost
-                )
+                ) * scale
                 finish = max(finish, self._reserve_channel(ready, chan, service))
+            finish += extra
             if finish > self.sim.now:
                 yield self.sim.timeout(finish - self.sim.now)
+            if fault is not None:
+                # The FTL mapping above stands: a failed program may
+                # leave torn pages behind, exactly like real media.
+                self.stats.write_faults += 1
+                raise fault
             self.stats.writes += 1
             self.stats.write_bytes += size
             self._maybe_start_gc()
         finally:
             self._ncq.release()
+
+    def _admit_faults(self, offset: int, size: int, write: bool = False):
+        """DES sub-generator: apply the fault plan at op admission.
+
+        Waits out any active stall window, then returns the op's
+        ``(service_scale, extra_latency, fault_or_None)`` under the
+        windows active at the (post-stall) admission time.
+        """
+        if self.faults is None:
+            return 1.0, 0.0, None
+        stall_end = self.faults.stall_until(self.sim.now)
+        if stall_end > self.sim.now:
+            self.stats.stall_seconds += stall_end - self.sim.now
+            yield self.sim.timeout(stall_end - self.sim.now)
+        now = self.sim.now
+        scale = self.faults.service_scale(now)
+        extra = self.faults.extra_latency(now)
+        if scale > 1.0:
+            self.stats.degraded_ops += 1
+        if extra > 0.0:
+            self.stats.fault_delay_seconds += extra
+        if write:
+            fault = self.faults.draw_write_fault(now, offset, size)
+        else:
+            fault = self.faults.draw_read_fault(now, offset, size)
+        return scale, extra, fault
 
     def _reserve_controller(self, overhead: float, size: int) -> float:
         """FIFO-reserve controller service; return when the op clears it."""

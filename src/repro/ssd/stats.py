@@ -28,6 +28,13 @@ class SsdStats:
     # Busy-time accounting (seconds of service rendered)
     controller_busy: float = 0.0
     channel_busy: float = 0.0
+    # Injected-fault accounting (see repro.faults)
+    read_faults: int = 0
+    write_faults: int = 0
+    corrupt_reads: int = 0
+    degraded_ops: int = 0
+    stall_seconds: float = 0.0
+    fault_delay_seconds: float = 0.0
 
     def snapshot(self) -> "SsdStats":
         """Return a copy of the current counters."""

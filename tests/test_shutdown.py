@@ -1,0 +1,115 @@
+"""Shutdown hygiene: background DES processes terminate cleanly.
+
+A stopped node must leave no live periodic loop behind: an unbounded
+``sim.run()`` after ``stop()`` has to return (only inert, already
+scheduled timeouts remain to drain) and the event queue must end empty.
+Without this, multi-trial harnesses leak a policy/scheduler ticker per
+trial and every subsequent ``sim.run(until=...)`` burns time stepping
+ghost loops.
+"""
+
+from repro.core import (
+    LibraScheduler,
+    Reservation,
+    ResourcePolicy,
+    ResourceTracker,
+    make_cost_model,
+    reference_calibration,
+)
+from repro.node import NodeConfig, StorageNode
+from repro.sim import Simulator
+from repro.ssd import SsdDevice, SsdProfile
+
+KIB = 1024
+MIB = 1024 * 1024
+
+TINY = SsdProfile(name="tiny-shut", channels=4, logical_capacity=64 * MIB, overprovision=1.0)
+
+
+def make_env(capacity=10_000.0):
+    sim = Simulator()
+    device = SsdDevice(sim, TINY, seed=1, precondition=False)
+    scheduler = LibraScheduler(
+        sim, device, make_cost_model("exact", reference_calibration("intel320"))
+    )
+    tracker = ResourceTracker()
+    policy = ResourcePolicy(sim, scheduler, tracker, capacity_vops=capacity)
+    return sim, scheduler, policy
+
+
+def test_policy_stop_terminates_loop():
+    sim, scheduler, policy = make_env()
+    sim.run(until=3.5)  # a few provisioning ticks
+    assert policy._proc.is_alive
+    policy.stop()
+    sim.run(until=4.0)  # deliver the interrupt (scheduler still ticking)
+    assert not policy._proc.is_alive
+    scheduler.stop()
+    sim.run()  # unbounded: must return, not tick forever
+    assert sim.queue_size == 0
+
+
+def test_stop_is_idempotent():
+    sim, scheduler, policy = make_env()
+    policy.stop()
+    policy.stop()
+    scheduler.stop()
+    scheduler.stop()
+    sim.run()
+    assert sim.queue_size == 0
+
+
+def test_scheduler_stop_terminates_ticker():
+    sim, scheduler, policy = make_env()
+    policy.stop()
+    sim.run(until=2.0)
+    scheduler.stop()
+    sim.run()
+    assert sim.queue_size == 0
+
+
+def test_node_stop_drains_event_queue():
+    sim = Simulator()
+    node = StorageNode(
+        sim, profile=TINY, config=NodeConfig(capacity_vops=20_000.0)
+    )
+    node.add_tenant("t1", Reservation(gets=1000, puts=1000))
+
+    def flow():
+        for k in range(32):
+            yield from node.put("t1", k, 4 * KIB)
+        for k in range(32):
+            size = yield from node.get("t1", k)
+            assert size == 4 * KIB
+
+    proc = sim.process(flow())
+    sim.run(until=5.0)
+    assert proc.triggered and proc.ok, getattr(proc, "value", None)
+
+    node.stop()
+    # Only inert, already-scheduled timeouts may remain; the unbounded
+    # run drains them without any loop re-arming itself.
+    sim.run()
+    assert sim.queue_size == 0
+
+
+def test_node_stop_after_crash_restart_cycle():
+    sim = Simulator()
+    node = StorageNode(
+        sim, profile=TINY, config=NodeConfig(capacity_vops=20_000.0)
+    )
+    node.add_tenant("t1", Reservation(gets=1000, puts=1000))
+
+    def flow():
+        for k in range(8):
+            yield from node.put("t1", k, 4 * KIB)
+        node.crash("t1")
+        replayed = yield from node.restart("t1")
+        assert replayed >= 1
+
+    proc = sim.process(flow())
+    sim.run(until=5.0)
+    assert proc.triggered and proc.ok, getattr(proc, "value", None)
+    node.stop()
+    sim.run()
+    assert sim.queue_size == 0
