@@ -1,0 +1,12 @@
+"""Performance harness for the DES kernel and the experiment grids.
+
+Contents:
+
+- ``refkernel``   — frozen pre-optimization kernel, the microbench baseline;
+- ``microbench``  — events/sec kernel microbench + DDRR scheduler ops/sec;
+- ``harness``     — CLI that runs the benches, the parallel-vs-serial
+  figure-grid comparison, and writes ``BENCH_sim.json`` (the perf
+  trajectory future PRs measure themselves against).
+
+Run ``python benchmarks/perf/harness.py --help`` (with ``PYTHONPATH=src``).
+"""

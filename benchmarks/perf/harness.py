@@ -1,0 +1,207 @@
+"""Perf harness: measure the kernel, the scheduler, and a figure grid.
+
+Runs the kernel events/sec microbench (live kernel vs the frozen
+:mod:`refkernel` baseline), the DDRR scheduler throughput bench, and a
+fig4 interference grid serial vs ``--jobs N`` — checking that the two
+renders are byte-identical — then writes the numbers to
+``BENCH_sim.json``.  That file is the tracked perf trajectory: each PR
+that touches the hot path regenerates it so regressions show up as a
+diff.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/perf/harness.py            # full quick grid
+    PYTHONPATH=src python benchmarks/perf/harness.py --smoke    # seconds, for CI
+    PYTHONPATH=src python benchmarks/perf/harness.py --profile  # + cProfile dumps
+
+``--smoke`` shrinks every stage (one microbench repeat, a tiny fig4
+grid) so CI can run the harness in under a minute; the JSON it writes
+is still schema-complete.  ``--profile`` wraps the live kernel bench
+and the serial grid run in :mod:`cProfile` and prints the top entries
+by cumulative time — the hook for digging into a regression the JSON
+surfaced.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Any, Dict, Optional
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_REPO = os.path.dirname(os.path.dirname(_HERE))
+for path in (os.path.join(_REPO, "src"), os.path.dirname(_HERE)):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+from perf.microbench import kernel_speedup, scheduler_ops_per_sec  # noqa: E402
+
+__all__ = ["main", "run_harness"]
+
+DEFAULT_OUTPUT = os.path.join(_REPO, "BENCH_sim.json")
+
+
+def _tiny_mode():
+    """A seconds-scale fig4 grid for --smoke: same code path, less work."""
+    from repro.experiments.common import KIB, ExperimentMode
+
+    return ExperimentMode(
+        name="tiny",
+        sizes=(4 * KIB, 64 * KIB),
+        ratios=(None, 0.5),
+        sigmas=(4 * KIB,),
+        duration=0.08,
+        warmup=0.03,
+        kv_horizon=10.0,
+    )
+
+
+def _maybe_profiled(enabled: bool, label: str, fn):
+    """Run ``fn()``; under --profile, wrap it in cProfile and print the
+    top functions by cumulative time."""
+    if not enabled:
+        return fn()
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = fn()
+    finally:
+        profiler.disable()
+    print(f"\n--- cProfile: {label} (top 20 by cumulative time) ---", file=sys.stderr)
+    pstats.Stats(profiler, stream=sys.stderr).sort_stats("cumulative").print_stats(20)
+    return result
+
+
+def _bench_grid(jobs: int, smoke: bool, profile: bool) -> Dict[str, Any]:
+    """fig4 serial vs ``jobs`` workers: wall-clock speedup plus the
+    byte-equality check that guards the parallel merge."""
+    from repro.experiments import fig4
+
+    mode = _tiny_mode() if smoke else None
+    quick = True
+
+    def serial():
+        return fig4.run(quick=quick, jobs=1, mode=mode)
+
+    started = time.perf_counter()
+    serial_result = _maybe_profiled(profile, "fig4 serial grid", serial)
+    serial_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel_result = fig4.run(quick=quick, jobs=jobs, mode=mode)
+    parallel_seconds = time.perf_counter() - started
+
+    identical = fig4.render(serial_result) == fig4.render(parallel_result)
+    return {
+        "figure": "fig4",
+        "mode": serial_result.mode,
+        "jobs": jobs,
+        "serial_seconds": round(serial_seconds, 3),
+        "parallel_seconds": round(parallel_seconds, 3),
+        "speedup_vs_serial": round(serial_seconds / parallel_seconds, 3)
+        if parallel_seconds > 0
+        else 0.0,
+        "byte_identical": identical,
+    }
+
+
+def run_harness(
+    jobs: int = 4, smoke: bool = False, profile: bool = False
+) -> Dict[str, Any]:
+    """Run every stage and return the BENCH_sim.json payload."""
+    print(f"[perf] kernel microbench (live vs frozen baseline)...", file=sys.stderr)
+    kernel = _maybe_profiled(
+        profile,
+        "kernel microbench (live)",
+        lambda: kernel_speedup(scale=1, repeats=1 if smoke else 3),
+    )
+    kernel = {
+        "events": kernel["events"],
+        "ref_events_per_sec": round(kernel["ref_events_per_sec"], 1),
+        "events_per_sec": round(kernel["events_per_sec"], 1),
+        "speedup_vs_baseline": round(kernel["speedup"], 3),
+    }
+    print(
+        f"[perf]   {kernel['events_per_sec']:.0f} ev/s, "
+        f"{kernel['speedup_vs_baseline']:.2f}x the frozen kernel",
+        file=sys.stderr,
+    )
+
+    print(f"[perf] DDRR scheduler throughput...", file=sys.stderr)
+    sched = scheduler_ops_per_sec(sim_seconds=0.1 if smoke else 0.5)
+    scheduler = {
+        "ops": sched["ops"],
+        "sim_seconds": sched["sim_seconds"],
+        "ops_per_sec": round(sched["ops_per_sec"], 1),
+    }
+    print(f"[perf]   {scheduler['ops_per_sec']:.0f} chunks/s", file=sys.stderr)
+
+    print(f"[perf] fig4 grid: serial vs --jobs {jobs}...", file=sys.stderr)
+    grid = _bench_grid(jobs=jobs, smoke=smoke, profile=profile)
+    print(
+        f"[perf]   serial {grid['serial_seconds']:.1f}s, "
+        f"jobs={jobs} {grid['parallel_seconds']:.1f}s "
+        f"({grid['speedup_vs_serial']:.2f}x), "
+        f"byte_identical={grid['byte_identical']}",
+        file=sys.stderr,
+    )
+
+    return {
+        "schema": 1,
+        "smoke": smoke,
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cpus": os.cpu_count(),
+        },
+        "kernel": kernel,
+        "scheduler": scheduler,
+        "grids": {"fig4": grid},
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark the DES kernel, scheduler, and figure grids."
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="seconds-scale run for CI (tiny grid, single microbench repeat)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=4, metavar="N",
+        help="worker processes for the parallel grid leg (default 4)",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="wrap the kernel bench and the serial grid in cProfile",
+    )
+    parser.add_argument(
+        "--output", default=DEFAULT_OUTPUT, metavar="PATH",
+        help="where to write the JSON results (default: repo-root BENCH_sim.json)",
+    )
+    args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+
+    results = run_harness(jobs=args.jobs, smoke=args.smoke, profile=args.profile)
+    with open(args.output, "w") as fh:
+        json.dump(results, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    print(f"[perf] wrote {args.output}", file=sys.stderr)
+
+    if not results["grids"]["fig4"]["byte_identical"]:
+        print("[perf] FAIL: parallel grid diverged from serial", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

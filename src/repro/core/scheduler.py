@@ -32,6 +32,7 @@ Two paper-faithful details:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Callable, Deque, Dict, List, Optional
 from collections import deque
 
@@ -85,14 +86,20 @@ class TenantUsage:
 
 
 class _Chunk:
-    """One schedulable unit: a whole op, or a slice of a large one."""
+    """One schedulable unit: a whole op, or a slice of a large one.
 
-    __slots__ = ("task", "offset", "size")
+    ``cost`` is the VOP price captured at dispatch time; completion
+    charges and reports exactly that value, so the cost model is
+    consulted once per chunk and dispatch/completion can never skew.
+    """
+
+    __slots__ = ("task", "offset", "size", "cost")
 
     def __init__(self, task: "_Task", offset: int, size: int):
         self.task = task
         self.offset = offset
         self.size = size
+        self.cost = 0.0
 
 
 class _Task:
@@ -152,6 +159,11 @@ class LibraScheduler:
         self._order: List[_TenantState] = []
         self._cursor = 0
         self._inflight = 0
+        #: chunks queued across all tenants (backlog = queued + inflight)
+        self._queued = 0
+        #: per-tenant round quanta, aligned with ``_order``; None when a
+        #: registration or allocation change invalidated the cache
+        self._quanta: Optional[List[float]] = None
         self._slots = device.queue_depth
         self._stopped = False
         self.rounds = 0
@@ -182,6 +194,7 @@ class LibraScheduler:
         state.allocation = allocation
         self._tenants[tenant_id] = state
         self._order.append(state)
+        self._quanta = None
         state.deficit = self._quantum(state)
 
     def set_allocation(self, tenant_id: str, allocation: float) -> None:
@@ -189,6 +202,7 @@ class LibraScheduler:
         if allocation < 0:
             raise ValueError(f"negative allocation {allocation}")
         self._state(tenant_id).allocation = allocation
+        self._quanta = None
 
     def allocation(self, tenant_id: str) -> float:
         return self._state(tenant_id).allocation
@@ -215,9 +229,11 @@ class LibraScheduler:
 
         The policy uses this as its saturation probe: a shortfall in
         delivered VOPs only signals device degradation when work was
-        actually waiting.
+        actually waiting.  Maintained as an O(1) counter: incremented
+        per chunk at submission, decremented at completion (a dispatch
+        merely moves a chunk from queued to in flight).
         """
-        return self._inflight + sum(len(s.queue) for s in self._order)
+        return self._inflight + self._queued
 
     def _state(self, tenant_id: str) -> _TenantState:
         try:
@@ -253,30 +269,50 @@ class LibraScheduler:
             length = min(chunk_size, size - pos)
             state.queue.append(_Chunk(task, offset + pos, length))
             task.pending_chunks += 1
+            self._queued += 1
             pos += length
         self._pump()
         return done
 
     # -- scheduling core -----------------------------------------------------------
 
-    def _quantum(self, state: _TenantState) -> float:
-        """This tenant's per-round VOP quantum (∝ allocation share)."""
+    def _refresh_quanta(self) -> List[float]:
+        """Recompute every tenant's per-round VOP quantum (∝ allocation
+        share) and cache the list.
+
+        The best-effort floor (mean positive allocation × fraction) and
+        the weight total are computed once per refresh instead of per
+        tenant per round; ``register_tenant``/``set_allocation`` are the
+        only mutation points and both invalidate the cache.
+        """
         positive = [s.allocation for s in self._order if s.allocation > 0]
         floor = (
             (sum(positive) / len(positive)) * self.config.best_effort_fraction
             if positive
             else 1.0
         )
-        total = sum(max(s.allocation, floor) for s in self._order)
-        return self._round_vops * max(state.allocation, floor) / total
+        weights = [max(s.allocation, floor) for s in self._order]
+        total = sum(weights)
+        round_vops = self._round_vops
+        self._quanta = [round_vops * weight / total for weight in weights]
+        return self._quanta
+
+    def _quantum(self, state: _TenantState) -> float:
+        """This tenant's per-round VOP quantum (cached)."""
+        quanta = self._quanta
+        if quanta is None:
+            quanta = self._refresh_quanta()
+        return quanta[self._order.index(state)]
 
     def _new_round(self, forced: bool = False) -> None:
         self.rounds += 1
         if forced:
             self.forced_rounds += 1
+        quanta = self._quanta
+        if quanta is None:
+            quanta = self._refresh_quanta()
         burst = self.config.burst_rounds
-        for state in self._order:
-            quantum = self._quantum(state)
+        for state, quantum in zip(self._order, quanta):
             state.deficit = min(state.deficit + quantum, quantum * burst)
 
     def _round_open(self) -> bool:
@@ -290,7 +326,7 @@ class LibraScheduler:
         try:
             while not self._stopped:
                 yield self.sim.timeout(timeout)
-                if self.rounds == last_round and any(s.queue for s in self._order):
+                if self.rounds == last_round and self._queued:
                     self._new_round(forced=True)
                     self._pump()
                 last_round = self.rounds
@@ -304,7 +340,7 @@ class LibraScheduler:
             if state is None:
                 if self._round_open():
                     return  # blocked tenants must wait for the round
-                if not any(s.queue for s in self._order):
+                if not self._queued:
                     return  # nothing to do at all
                 self._new_round()
                 continue
@@ -323,17 +359,17 @@ class LibraScheduler:
     def _dispatch(self, state: _TenantState, chunk: _Chunk) -> None:
         task = chunk.task
         cost = self.cost_model.cost(task.kind, chunk.size)
+        chunk.cost = cost
         state.deficit -= cost
         state.usage.vops += cost
         state.inflight += 1
         self._inflight += 1
+        self._queued -= 1
         if task.kind == OpKind.READ:
             completion = self.device.read(chunk.offset, chunk.size)
         else:
             completion = self.device.write(chunk.offset, chunk.size)
-        completion.callbacks.append(
-            lambda ev, s=state, c=chunk: self._complete(s, c, ev)
-        )
+        completion.callbacks.append(partial(self._complete, state, chunk))
 
     def _complete(self, state: _TenantState, chunk: _Chunk, event: Event) -> None:
         self._inflight -= 1
@@ -357,8 +393,10 @@ class LibraScheduler:
         else:
             usage.write_ops += 1
         if self.io_observer is not None:
-            cost = self.cost_model.cost(task.kind, chunk.size)
-            self.io_observer(task.tag, task.kind, chunk.size, cost)
+            # Report the cost captured at dispatch — no second cost-model
+            # evaluation, and observer charges can never skew from what
+            # the deficit counter actually paid.
+            self.io_observer(task.tag, task.kind, chunk.size, chunk.cost)
         task.pending_chunks -= 1
         if task.pending_chunks == 0 and not task.done.triggered:
             usage.tasks += 1

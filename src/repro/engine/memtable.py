@@ -8,7 +8,7 @@ value bytes.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 __all__ = ["Memtable", "Entry", "TOMBSTONE"]
 
@@ -38,6 +38,9 @@ class Memtable:
             raise ValueError(f"memtable limit must be positive, got {limit_bytes}")
         self.limit_bytes = limit_bytes
         self._entries: Dict[int, Entry] = {}
+        #: sorted key cache for the flush path; only a *new* key changes
+        #: the key set, so overwrites keep it valid
+        self._sorted_keys: Optional[List[int]] = None
         self.bytes = 0
 
     def __len__(self) -> int:
@@ -56,6 +59,8 @@ class Memtable:
         previous = self._entries.get(key)
         if previous is not None:
             self.bytes -= max(previous.size, 0)
+        else:
+            self._sorted_keys = None
         self._entries[key] = Entry(size, sequence)
         self.bytes += max(size, 0)
 
@@ -64,6 +69,15 @@ class Memtable:
         return self._entries.get(key)
 
     def sorted_entries(self) -> Iterator[Tuple[int, Entry]]:
-        """Entries in key order (for building an SSTable)."""
-        for key in sorted(self._entries):
-            yield key, self._entries[key]
+        """Entries in key order (for building an SSTable).
+
+        The flush path iterates this twice (layout sizing, then the
+        actual build); the sorted key list is cached between calls and
+        invalidated only when a put introduces a new key.
+        """
+        keys = self._sorted_keys
+        if keys is None:
+            keys = self._sorted_keys = sorted(self._entries)
+        entries = self._entries
+        for key in keys:
+            yield key, entries[key]

@@ -189,8 +189,15 @@ def _derive_reservations(
     }
 
 
-def run(quick: bool = True, profile_name: str = "intel320", seed: int = 29) -> ChaosResult:
-    """Run the chaos experiment; deterministic in ``seed``."""
+def run(
+    quick: bool = True, profile_name: str = "intel320", seed: int = 29, jobs: int = 1
+) -> ChaosResult:
+    """Run the chaos experiment; deterministic in ``seed``.
+
+    ``jobs`` is accepted for CLI uniformity but unused: the experiment
+    is one continuous fault timeline on a single node and cannot be
+    split without changing what it measures.
+    """
     timeline = QUICK if quick else FULL
     sim = Simulator()
     profile = get_profile(profile_name).with_capacity(768 * MIB)

@@ -26,7 +26,7 @@ from ..node import NodeConfig, StorageNode
 from ..sim import Simulator
 from ..ssd import get_profile
 from ..workload.generator import KvLoad, KvTenantSpec, bootstrap_tenant, start_kv_load
-from .common import size_label
+from .common import parallel_map, size_label
 
 __all__ = ["run", "render", "Fig10Result"]
 
@@ -124,8 +124,19 @@ def _measure_stack_vops(
     return measured["vops"] / (horizon - warmup)
 
 
-def run(quick: bool = True, profile_name: str = "intel320", seed: int = 9) -> Fig10Result:
-    """Regenerate Figure 10 (pure sweep + mixed grid + CDF data)."""
+def _measure_point(args) -> float:
+    """One stack-workload point on its own node (the unit of parallelism)."""
+    return _measure_stack_vops(*args)
+
+
+def run(
+    quick: bool = True, profile_name: str = "intel320", seed: int = 9, jobs: int = 1
+) -> Fig10Result:
+    """Regenerate Figure 10 (pure sweep + mixed grid + CDF data).
+
+    ``jobs`` fans the independent workload points out over worker
+    processes; the merged result is byte-identical for any ``jobs``.
+    """
     if quick:
         pure_sizes = [1 * KIB, 4 * KIB, 16 * KIB, 64 * KIB, 256 * KIB]
         grid_sizes = [4 * KIB, 16 * KIB, 64 * KIB]
@@ -136,22 +147,27 @@ def run(quick: bool = True, profile_name: str = "intel320", seed: int = 9) -> Fi
         horizon, warmup = 25.0, 10.0
     capacity = reference_capacity(profile_name)
     node_floor = stack_floor(profile_name)
-    pure = {}
+    # Every point runs on its own fresh simulator/node, so the pure
+    # sweep and the mixed grid are one flat list of independent work
+    # units fanned out over `jobs` workers in a stable order.
+    pure_keys = []
+    mixed_keys = []
+    tasks = []
     for size in pure_sizes:
-        pure[("GET", size)] = _measure_stack_vops(
-            profile_name, 1.0, size, size, 4 * KIB, horizon, warmup, seed
-        )
-        pure[("PUT", size)] = _measure_stack_vops(
-            profile_name, 0.0, size, size, 4 * KIB, horizon, warmup, seed
-        )
-    mixed = {}
+        pure_keys.append(("GET", size))
+        tasks.append((profile_name, 1.0, size, size, 4 * KIB, horizon, warmup, seed))
+        pure_keys.append(("PUT", size))
+        tasks.append((profile_name, 0.0, size, size, 4 * KIB, horizon, warmup, seed))
     for fraction in (0.75, 0.5, 0.25, 0.01):
         for gsize in grid_sizes:
             for psize in grid_sizes:
-                mixed[(fraction, gsize, psize)] = _measure_stack_vops(
-                    profile_name, fraction, gsize, psize, 4 * KIB,
-                    horizon, warmup, seed,
+                mixed_keys.append((fraction, gsize, psize))
+                tasks.append(
+                    (profile_name, fraction, gsize, psize, 4 * KIB, horizon, warmup, seed)
                 )
+    values = parallel_map(_measure_point, tasks, jobs=jobs)
+    pure = dict(zip(pure_keys, values[: len(pure_keys)]))
+    mixed = dict(zip(mixed_keys, values[len(pure_keys):]))
     return Fig10Result(
         profile=profile_name,
         mode="quick" if quick else "full",

@@ -56,8 +56,15 @@ class Fig12Result:
         return achieved >= reserved * slack
 
 
-def run(quick: bool = True, profile_name: str = "intel320", seed: int = 19) -> Fig12Result:
-    """Regenerate the Figure 12 dynamic-demand experiment."""
+def run(
+    quick: bool = True, profile_name: str = "intel320", seed: int = 19, jobs: int = 1
+) -> Fig12Result:
+    """Regenerate the Figure 12 dynamic-demand experiment.
+
+    ``jobs`` is accepted for CLI uniformity but unused: the experiment
+    is one continuous timeline (probe → swap → realign) on a single
+    node and cannot be split without changing what it measures.
+    """
     if quick:
         probe_end, swap_work_at, swap_res_at, end_at = 35.0, 65.0, 95.0, 125.0
     else:

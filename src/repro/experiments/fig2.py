@@ -27,7 +27,7 @@ from ..node import NodeConfig, StorageNode
 from ..sim import Simulator
 from ..ssd import get_profile
 from ..workload.generator import KvLoad, KvTenantSpec, bootstrap_tenant, start_kv_load
-from .common import size_label
+from .common import parallel_map, size_label
 
 __all__ = ["run", "render", "Fig2Result", "COMPONENTS"]
 
@@ -119,12 +119,22 @@ def _run_point(
     return {c: v / duration for c, v in breakdown.items()}
 
 
+def _point(args) -> Dict[str, float]:
+    """One workload point on its own simulator (the unit of parallelism)."""
+    return _run_point(*args)
+
+
 def run(
     quick: bool = True,
     profile_name: str = "intel320",
     seed: int = 5,
+    jobs: int = 1,
 ) -> Fig2Result:
-    """Regenerate the Figure 2 amplification breakdown."""
+    """Regenerate the Figure 2 amplification breakdown.
+
+    Every point runs on a fresh simulator, so ``jobs`` fans them out
+    over worker processes with byte-identical merged results.
+    """
     sizes = (
         [1 * KIB, 4 * KIB, 16 * KIB, 64 * KIB, 128 * KIB]
         if quick
@@ -132,15 +142,12 @@ def run(
     )
     horizon = 20.0 if quick else 40.0
     warmup = 8.0 if quick else 15.0
-    points = {}
-    for size in sizes:
-        points[size_label(size)] = _run_point(
-            profile_name, size, size, False, horizon, warmup, seed
-        )
-    points["32K/128K"] = _run_point(
-        profile_name, 32 * KIB, 128 * KIB, True, horizon, warmup, seed
-    )
-    return Fig2Result(profile=profile_name, points=points)
+    labels = [size_label(size) for size in sizes] + ["32K/128K"]
+    tasks = [
+        (profile_name, size, size, False, horizon, warmup, seed) for size in sizes
+    ] + [(profile_name, 32 * KIB, 128 * KIB, True, horizon, warmup, seed)]
+    results = parallel_map(_point, tasks, jobs=jobs)
+    return Fig2Result(profile=profile_name, points=dict(zip(labels, results)))
 
 
 def render(result: Fig2Result) -> str:

@@ -68,8 +68,16 @@ def _sweep_point(sim, device, kind: OpKind, size: int, sequential: bool,
     return iops, iops * size
 
 
-def run(quick: bool = True, profile_name: str = "intel320", seed: int = 21) -> Fig3Result:
-    """Regenerate Figure 3 for one device profile."""
+def run(
+    quick: bool = True, profile_name: str = "intel320", seed: int = 21, jobs: int = 1
+) -> Fig3Result:
+    """Regenerate Figure 3 for one device profile.
+
+    ``jobs`` is accepted for CLI uniformity but unused: the sweep
+    deliberately reuses one continuously aging device across all points
+    (like benchmarking a single physical drive), so the points form one
+    sequential chain.
+    """
     mode = mode_for(quick)
     profile = get_profile(profile_name)
     sim = Simulator()

@@ -7,6 +7,11 @@ VOP/s measured with the exact cost model.  Expected shape: mild
 interference for read-dominant mixes, a throughput valley that spreads
 and migrates as the mix moves toward writes, and flatter/lower surfaces
 as size variance grows.
+
+Each ``(ratio, sigma)`` variant runs on its own aged device seeded from
+``derive_seed(seed, variant_index)``, so variants are independent work
+units: ``run(..., jobs=N)`` fans them out over worker processes and the
+merged result is byte-identical to a serial run.
 """
 
 from __future__ import annotations
@@ -17,7 +22,7 @@ from typing import Dict, List, Optional, Tuple
 from ..analysis.report import format_heatmap
 from ..ssd import get_profile
 from ..workload.iobench import DeviceEnv, run_interference_trial
-from .common import mode_for, ratio_label, size_label
+from .common import ExperimentMode, derive_seed, mode_for, parallel_map, ratio_label, size_label
 
 __all__ = ["run", "render", "Fig4Result"]
 
@@ -48,31 +53,60 @@ class Fig4Result:
         return max(self.cells.values())
 
 
-def run(quick: bool = True, profile_name: str = "intel320", seed: int = 7) -> Fig4Result:
-    """Regenerate the Figure 4 interference sweep."""
-    mode = mode_for(quick)
+def _variant_cells(args) -> Dict[Tuple[Optional[float], Optional[int], int, int], float]:
+    """One ``(ratio, sigma)`` variant: all its (read × write) size cells.
+
+    The variant is the unit of parallelism; it owns a freshly aged
+    device seeded from the variant index (trials within it share that
+    device back to back, like benchmarking one physical drive), so its
+    cells depend only on ``args`` — never on sibling variants.
+    """
+    profile_name, ratio, sigma, index, sizes, duration, warmup, seed = args
     profile = get_profile(profile_name)
-    env = DeviceEnv(profile, seed=seed)
+    env = DeviceEnv(profile, seed=derive_seed(seed, index))
     cells = {}
+    for rsize in sizes:
+        for wsize in sizes:
+            trial = run_interference_trial(
+                profile,
+                read_size=rsize,
+                write_size=wsize,
+                read_fraction=ratio,
+                sigma=sigma,
+                duration=duration,
+                warmup=warmup,
+                seed=seed,
+                env=env,
+            )
+            cells[(ratio, sigma, rsize, wsize)] = trial.total_vops_per_sec
+    return cells
+
+
+def run(
+    quick: bool = True,
+    profile_name: str = "intel320",
+    seed: int = 7,
+    jobs: int = 1,
+    mode: Optional[ExperimentMode] = None,
+) -> Fig4Result:
+    """Regenerate the Figure 4 interference sweep.
+
+    ``jobs`` fans the (ratio, sigma) variants out over worker processes;
+    the result is byte-identical for any ``jobs``.  ``mode`` overrides
+    the quick/full grid (used by tests and the perf harness).
+    """
+    mode = mode or mode_for(quick)
     variants: List[Tuple[Optional[float], Optional[int]]] = [
         (ratio, None) for ratio in mode.ratios
     ]
     variants += [(0.5, sigma) for sigma in mode.sigmas]
-    for ratio, sigma in variants:
-        for rsize in mode.sizes:
-            for wsize in mode.sizes:
-                trial = run_interference_trial(
-                    profile,
-                    read_size=rsize,
-                    write_size=wsize,
-                    read_fraction=ratio,
-                    sigma=sigma,
-                    duration=mode.duration,
-                    warmup=mode.warmup,
-                    seed=seed,
-                    env=env,
-                )
-                cells[(ratio, sigma, rsize, wsize)] = trial.total_vops_per_sec
+    tasks = [
+        (profile_name, ratio, sigma, index, tuple(mode.sizes), mode.duration, mode.warmup, seed)
+        for index, (ratio, sigma) in enumerate(variants)
+    ]
+    cells = {}
+    for variant_cells in parallel_map(_variant_cells, tasks, jobs=jobs):
+        cells.update(variant_cells)
     return Fig4Result(
         profile=profile_name, mode=mode.name, sizes=tuple(mode.sizes), cells=cells
     )

@@ -50,10 +50,13 @@ def from_fig4(fig4: Fig4Result) -> Fig5Result:
 
 
 def run(quick: bool = True, profile_name: str = "intel320", seed: int = 7,
-        fig4_result: Optional[Fig4Result] = None) -> Fig5Result:
-    """Regenerate Figure 5 (reuses a Figure 4 sweep when provided)."""
+        fig4_result: Optional[Fig4Result] = None, jobs: int = 1) -> Fig5Result:
+    """Regenerate Figure 5 (reuses a Figure 4 sweep when provided).
+
+    ``jobs`` is forwarded to the underlying Figure 4 sweep.
+    """
     if fig4_result is None:
-        fig4_result = run_fig4(quick=quick, profile_name=profile_name, seed=seed)
+        fig4_result = run_fig4(quick=quick, profile_name=profile_name, seed=seed, jobs=jobs)
     return from_fig4(fig4_result)
 
 

@@ -28,8 +28,12 @@ class Fig6Result:
     points: Dict[Tuple[str, int], Tuple[float, float]]
 
 
-def run(quick: bool = True, profile_name: str = "intel320") -> Fig6Result:
-    """Regenerate the Figure 6 cost curves (calibration-derived)."""
+def run(quick: bool = True, profile_name: str = "intel320", jobs: int = 1) -> Fig6Result:
+    """Regenerate the Figure 6 cost curves (calibration-derived).
+
+    ``jobs`` is accepted for CLI uniformity but unused: this figure is
+    pure computation over the cached calibration (no simulation).
+    """
     calibration = reference_calibration(profile_name)
     model = ExactCostModel(calibration)
     points = {}

@@ -20,7 +20,7 @@ from ..core.capacity import reference_capacity
 from ..core.tags import OpKind
 from ..ssd import get_profile
 from ..workload.iobench import DeviceEnv, TenantSpec, isolated_iops, run_raw_trial
-from .common import mode_for, size_label
+from .common import mode_for, parallel_map, size_label
 
 __all__ = ["run", "render", "Fig7Result", "ratio_trial"]
 
@@ -94,17 +94,42 @@ def ratio_trial(
     )
 
 
-def run(quick: bool = True, seed: int = 7, profiles: Tuple[str, ...] = PROFILES) -> Fig7Result:
-    """Regenerate Figure 7 over all three device profiles."""
-    mode = mode_for(quick)
+def _profile_cells(args) -> Dict[Tuple[str, int, int], CellRatios]:
+    """One device profile's whole size grid (the unit of parallelism).
+
+    Each profile already ran on its own freshly seeded device env, so
+    fanning profiles out over workers reproduces the serial trajectory.
+    """
+    profile_name, sizes, duration, warmup, seed = args
+    env = DeviceEnv(get_profile(profile_name), seed=seed)
     cells = {}
-    for profile_name in profiles:
-        env = DeviceEnv(get_profile(profile_name), seed=seed)
-        for rsize in mode.sizes:
-            for wsize in mode.sizes:
-                cells[(profile_name, rsize, wsize)] = ratio_trial(
-                    profile_name, rsize, wsize, env, mode.duration, mode.warmup, seed
-                )
+    for rsize in sizes:
+        for wsize in sizes:
+            cells[(profile_name, rsize, wsize)] = ratio_trial(
+                profile_name, rsize, wsize, env, duration, warmup, seed
+            )
+    return cells
+
+
+def run(
+    quick: bool = True,
+    seed: int = 7,
+    profiles: Tuple[str, ...] = PROFILES,
+    jobs: int = 1,
+) -> Fig7Result:
+    """Regenerate Figure 7 over all three device profiles.
+
+    ``jobs`` fans the profiles out over worker processes; the merged
+    result is byte-identical for any ``jobs``.
+    """
+    mode = mode_for(quick)
+    tasks = [
+        (profile_name, tuple(mode.sizes), mode.duration, mode.warmup, seed)
+        for profile_name in profiles
+    ]
+    cells = {}
+    for profile_cells in parallel_map(_profile_cells, tasks, jobs=jobs):
+        cells.update(profile_cells)
     return Fig7Result(mode=mode.name, sizes=tuple(mode.sizes), cells=cells)
 
 

@@ -28,8 +28,12 @@ class Fig8Result:
     points: Dict[Tuple[str, str, int], float]
 
 
-def run(quick: bool = True, profile_name: str = "intel320") -> Fig8Result:
-    """Regenerate the Figure 8 cost-model comparison curves."""
+def run(quick: bool = True, profile_name: str = "intel320", jobs: int = 1) -> Fig8Result:
+    """Regenerate the Figure 8 cost-model comparison curves.
+
+    ``jobs`` is accepted for CLI uniformity but unused: this figure is
+    pure computation over the cached calibration (no simulation).
+    """
     calibration = reference_calibration(profile_name)
     points = {}
     for name in COST_MODEL_NAMES:

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import combinations_with_replacement
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..analysis.metrics import mmr, percentile
 from ..analysis.report import format_table
@@ -29,7 +29,7 @@ from ..core.tags import OpKind
 from ..core.vop import COST_MODEL_NAMES
 from ..ssd import get_profile
 from ..workload.iobench import DeviceEnv, TenantSpec, isolated_iops, run_raw_trial
-from .common import mode_for
+from .common import ExperimentMode, mode_for, parallel_map
 
 __all__ = ["run", "render", "Fig9Result"]
 
@@ -74,42 +74,69 @@ def _expected(profile_name: str, spec: TenantSpec, n: int) -> float:
     return isolated_iops(profile_name, kind, size) / n
 
 
-def run(quick: bool = True, profile_name: str = "intel320", seed: int = 7) -> Fig9Result:
-    """Regenerate Figure 9 (workload grid × five cost models)."""
-    mode = mode_for(quick)
+def _model_samples(args) -> Dict[Tuple[str, str], List[Tuple[float, float]]]:
+    """One cost model's whole workload grid (the unit of parallelism).
+
+    Each model already ran on its own freshly seeded device env before
+    this figure was parallelized, so fanning models out over workers
+    reproduces the serial trajectory exactly.
+    """
+    profile_name, model, sizes, duration, warmup, seed = args
     profile = get_profile(profile_name)
     floor = reference_capacity(profile_name).floor_vops
+    env = DeviceEnv(profile, seed=seed)
     samples: Dict[Tuple[str, str], List[Tuple[float, float]]] = {}
-    for model in COST_MODEL_NAMES:
-        env = DeviceEnv(profile, seed=seed)
-        for category in CATEGORIES:
-            pairs: List[Tuple[int, int]] = (
-                [(a, b) for a in mode.sizes for b in mode.sizes]
-                if category == "rw"
-                else list(combinations_with_replacement(mode.sizes, 2))
+    for category in CATEGORIES:
+        pairs: List[Tuple[int, int]] = (
+            [(a, b) for a in sizes for b in sizes]
+            if category == "rw"
+            else list(combinations_with_replacement(sizes, 2))
+        )
+        for size_a, size_b in pairs:
+            specs = _specs_for(category, size_a, size_b)
+            allocations = {s.name: floor / len(specs) for s in specs}
+            trial = run_raw_trial(
+                profile,
+                specs,
+                duration=duration,
+                warmup=warmup,
+                seed=seed,
+                cost_model=model,
+                allocations=allocations,
+                env=env,
             )
-            for size_a, size_b in pairs:
-                specs = _specs_for(category, size_a, size_b)
-                allocations = {s.name: floor / len(specs) for s in specs}
-                trial = run_raw_trial(
-                    profile,
-                    specs,
-                    duration=mode.duration,
-                    warmup=mode.warmup,
-                    seed=seed,
-                    cost_model=model,
-                    allocations=allocations,
-                    env=env,
-                )
-                iop_ratios = [
-                    t.iops_per_sec(trial.duration)
-                    / _expected(profile_name, t.spec, len(specs))
-                    for t in trial.tenants.values()
-                ]
-                vop_rates = [t.vops for t in trial.tenants.values()]
-                samples.setdefault((model, category), []).append(
-                    (mmr(iop_ratios), mmr(vop_rates))
-                )
+            iop_ratios = [
+                t.iops_per_sec(trial.duration)
+                / _expected(profile_name, t.spec, len(specs))
+                for t in trial.tenants.values()
+            ]
+            vop_rates = [t.vops for t in trial.tenants.values()]
+            samples.setdefault((model, category), []).append(
+                (mmr(iop_ratios), mmr(vop_rates))
+            )
+    return samples
+
+
+def run(
+    quick: bool = True,
+    profile_name: str = "intel320",
+    seed: int = 7,
+    jobs: int = 1,
+    mode: Optional[ExperimentMode] = None,
+) -> Fig9Result:
+    """Regenerate Figure 9 (workload grid × five cost models).
+
+    ``jobs`` fans the five cost models out over worker processes; the
+    merged result is byte-identical for any ``jobs``.
+    """
+    mode = mode or mode_for(quick)
+    tasks = [
+        (profile_name, model, tuple(mode.sizes), mode.duration, mode.warmup, seed)
+        for model in COST_MODEL_NAMES
+    ]
+    samples: Dict[Tuple[str, str], List[Tuple[float, float]]] = {}
+    for model_samples in parallel_map(_model_samples, tasks, jobs=jobs):
+        samples.update(model_samples)
     return Fig9Result(profile=profile_name, mode=mode.name, samples=samples)
 
 

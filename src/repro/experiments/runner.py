@@ -4,7 +4,17 @@ Usage::
 
     python -m repro.experiments fig4            # quick grid
     python -m repro.experiments fig9 --full     # the paper's full grid
+    python -m repro.experiments fig4 --jobs 4   # fan grid cells out over
+                                                # 4 worker processes
     python -m repro.experiments all             # every figure, quick
+
+``--jobs N`` parallelizes the figures whose grids decompose into
+independent work units (fig2, fig4, fig5, fig7, fig9, fig10, fig11)
+over ``N`` worker processes.  Results are byte-identical to a serial
+run: every unit owns its simulator and derived seed, and the merge is
+ordered.  Figures that are one continuous simulated timeline (fig3,
+fig12, chaosfig) or pure computation (fig6, fig8) accept the flag and
+run serially.
 """
 
 from __future__ import annotations
@@ -24,12 +34,12 @@ FIGURES = (
 )
 
 
-def run_figure(name: str, quick: bool, seed: int = None) -> str:
+def run_figure(name: str, quick: bool, seed: int = None, jobs: int = 1) -> str:
     """Run one figure module and return its rendered report."""
     if name not in FIGURES:
         raise SystemExit(f"unknown figure {name!r}; choose from {', '.join(FIGURES)} or 'all'")
     module = importlib.import_module(f"repro.experiments.{name}")
-    kwargs = {"quick": quick}
+    kwargs = {"quick": quick, "jobs": jobs}
     if seed is not None:
         kwargs["seed"] = seed
     result = module.run(**kwargs)
@@ -47,11 +57,18 @@ def main(argv: List[str] = None) -> int:
         help="run the paper's full grids (slower) instead of the quick subset",
     )
     parser.add_argument("--seed", type=int, default=None, help="override the experiment seed")
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for parallelizable figure grids "
+             "(byte-identical to --jobs 1; default 1)",
+    )
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
     names = FIGURES if args.figure == "all" else (args.figure,)
     for name in names:
         started = time.time()
-        report = run_figure(name, quick=not args.full, seed=args.seed)
+        report = run_figure(name, quick=not args.full, seed=args.seed, jobs=args.jobs)
         print(report)
         print(f"[{name} completed in {time.time() - started:.0f}s]\n")
     return 0
