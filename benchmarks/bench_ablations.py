@@ -11,9 +11,8 @@ accuracy/utilization trade-offs to its tunables:
 import pytest
 
 from repro.analysis.metrics import mmr
-from repro.core import SchedulerConfig, reference_calibration
+from repro.core import SchedulerConfig
 from repro.core.capacity import REFERENCE_FLOORS
-from repro.experiments.fig7 import ratio_trial
 from repro.ssd import get_profile
 from repro.workload.iobench import DeviceEnv, TenantSpec, run_raw_trial
 

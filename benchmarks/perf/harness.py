@@ -1,12 +1,14 @@
 """Perf harness: measure the kernel, the scheduler, and a figure grid.
 
 Runs the kernel events/sec microbench (live kernel vs the frozen
-:mod:`refkernel` baseline), the DDRR scheduler throughput bench, and a
+:mod:`refkernel` baseline), the DDRR scheduler throughput bench, a
 fig4 interference grid serial vs ``--jobs N`` — checking that the two
-renders are byte-identical — then writes the numbers to
-``BENCH_sim.json``.  That file is the tracked perf trajectory: each PR
-that touches the hot path regenerates it so regressions show up as a
-diff.
+renders are byte-identical — and a replicated-cluster workload through
+the :mod:`repro.net` fabric (RPC round trips per second at RF=1 vs
+RF=2, plus the replication write-amplification overhead), then writes
+the numbers to ``BENCH_sim.json``.  That file is the tracked perf
+trajectory: each PR that touches the hot path regenerates it so
+regressions show up as a diff.
 
 Usage (from the repo root)::
 
@@ -30,7 +32,7 @@ import os
 import platform
 import sys
 import time
-from typing import Any, Dict, Optional
+from typing import Any, Dict
 
 _HERE = os.path.dirname(os.path.abspath(__file__))
 _REPO = os.path.dirname(os.path.dirname(_HERE))
@@ -112,11 +114,87 @@ def _bench_grid(jobs: int, smoke: bool, profile: bool) -> Dict[str, Any]:
     }
 
 
+def _bench_cluster(smoke: bool, profile: bool) -> Dict[str, Any]:
+    """Replicated-cluster RPC throughput: a closed-loop workload through
+    the net fabric at RF=1 vs RF=2, measuring completed RPC round trips
+    per wall second and the replication overhead (durable WAL records
+    and backup applies per acknowledged write)."""
+    import random
+
+    from repro.core import Reservation
+    from repro.faults import StorageFault
+    from repro.net import NetConfig
+    from repro.node import NodeConfig, StorageCluster
+    from repro.sim import Simulator
+
+    horizon = 0.6 if smoke else 3.0
+
+    def one_rf(rf: int) -> Dict[str, Any]:
+        sim = Simulator()
+        cluster = StorageCluster(
+            sim,
+            n_nodes=3,
+            profile="intel320",
+            config=NodeConfig(cache_bytes=0),
+            partitions_per_tenant=6,
+            seed=17,
+            net=NetConfig(rf=rf),
+        )
+        cluster.add_tenant("t1", Reservation(gets=4000.0, puts=4000.0))
+        client = cluster.make_client()
+        acked = [0]
+
+        def worker(widx):
+            rng = random.Random(f"perf-cluster:{rf}:{widx}")
+            while sim.now < horizon:
+                key = rng.randrange(512)
+                try:
+                    yield from client.put("t1", key, 4096)
+                    acked[0] += 1
+                    yield from client.get("t1", key)
+                except StorageFault:
+                    pass
+
+        for widx in range(8):
+            sim.process(worker(widx))
+        started = time.perf_counter()
+        sim.run(until=horizon)
+        wall = time.perf_counter() - started
+        cluster.stop()
+        round_trips = client.rpc.stats.round_trips + sum(
+            service.rpc.stats.round_trips for service in cluster.services.values()
+        )
+        durable = sum(cluster.durable_record_counts("t1").values())
+        stats = cluster.total_stats("t1")
+        return {
+            "round_trips": round_trips,
+            "round_trips_per_sec": round(round_trips / wall, 1) if wall > 0 else 0.0,
+            "acked_puts": acked[0],
+            "repl_applies": stats.repl_applies,
+            "write_amplification": round(durable / acked[0], 3) if acked[0] else 0.0,
+            "wall_seconds": round(wall, 3),
+        }
+
+    rf1 = _maybe_profiled(profile, "cluster workload (rf=1)", lambda: one_rf(1))
+    rf2 = one_rf(2)
+    overhead = (
+        round(rf2["write_amplification"] / rf1["write_amplification"], 3)
+        if rf1["write_amplification"]
+        else 0.0
+    )
+    return {
+        "horizon_sim_seconds": horizon,
+        "rf1": rf1,
+        "rf2": rf2,
+        "replication_overhead": overhead,
+    }
+
+
 def run_harness(
     jobs: int = 4, smoke: bool = False, profile: bool = False
 ) -> Dict[str, Any]:
     """Run every stage and return the BENCH_sim.json payload."""
-    print(f"[perf] kernel microbench (live vs frozen baseline)...", file=sys.stderr)
+    print("[perf] kernel microbench (live vs frozen baseline)...", file=sys.stderr)
     kernel = _maybe_profiled(
         profile,
         "kernel microbench (live)",
@@ -134,7 +212,7 @@ def run_harness(
         file=sys.stderr,
     )
 
-    print(f"[perf] DDRR scheduler throughput...", file=sys.stderr)
+    print("[perf] DDRR scheduler throughput...", file=sys.stderr)
     sched = scheduler_ops_per_sec(sim_seconds=0.1 if smoke else 0.5)
     scheduler = {
         "ops": sched["ops"],
@@ -153,6 +231,15 @@ def run_harness(
         file=sys.stderr,
     )
 
+    print("[perf] cluster workload: RPC round trips and replication...", file=sys.stderr)
+    cluster = _bench_cluster(smoke=smoke, profile=profile)
+    print(
+        f"[perf]   rf1 {cluster['rf1']['round_trips_per_sec']:.0f} rt/s, "
+        f"rf2 {cluster['rf2']['round_trips_per_sec']:.0f} rt/s, "
+        f"write-amp overhead {cluster['replication_overhead']:.2f}x",
+        file=sys.stderr,
+    )
+
     return {
         "schema": 1,
         "smoke": smoke,
@@ -164,6 +251,7 @@ def run_harness(
         "kernel": kernel,
         "scheduler": scheduler,
         "grids": {"fig4": grid},
+        "cluster": cluster,
     }
 
 

@@ -1,61 +1,77 @@
 """Multi-node cluster: routing, reservation splitting, and rebalancing.
 
-Two storage nodes host two tenants.  The cluster splits each tenant's
-global reservation into per-node local reservations, routes requests by
-partition, and — when one node's reservations outgrow its provisionable
-capacity — redistributes local reservations into the other node's
-headroom, the §2.1 higher-level response to Libra's overflow signal.
+Two storage nodes host two tenants behind the simulated network
+fabric (``repro.net``): requests leave a ``ClusterClient``, pay NIC
+serialization and link latency, and arrive at each partition primary's
+RPC endpoint.  With ``rf=2`` every partition also has a backup, so
+acknowledged writes replicate before the client sees the ack and each
+tenant's global PUT reservation is split across *both* replicas.
+
+When one node's reservations outgrow its provisionable capacity, the
+cluster redistributes local reservations into the other node's
+headroom — the §2.1 higher-level response to Libra's overflow signal.
 
 Run: python examples/cluster_provisioning.py
 """
 
 import random
 
-from repro import Reservation, Simulator, StorageCluster
+from repro import NetConfig, Reservation, Simulator, StorageCluster
 
 KIB = 1024
 
 
 def main() -> None:
     sim = Simulator()
-    cluster = StorageCluster(sim, n_nodes=2, partitions_per_tenant=8)
+    cluster = StorageCluster(
+        sim, n_nodes=2, partitions_per_tenant=8, net=NetConfig(rf=2)
+    )
     cluster.add_tenant("web", Reservation(gets=6000.0, puts=2000.0))
     cluster.add_tenant("batch", Reservation(gets=500.0, puts=3000.0))
 
     print("=== initial reservation split (normalized units/s) ===")
+    print("    (GETs split by primary share; PUTs by replica share, so")
+    print("     locals sum to rf x the global PUT reservation)")
     for name, node in cluster.nodes.items():
         for tenant in ("web", "batch"):
             local = node.policy.reservation(tenant)
             print(f"  {name} {tenant:>6}: GET {local.gets:.0f}, PUT {local.puts:.0f}")
 
     rng = random.Random(42)
+    clients = {
+        tenant: cluster.make_client(f"app.{tenant}") for tenant in ("web", "batch")
+    }
 
-    def client(tenant, get_fraction, size, n_keys):
+    def driver(tenant, get_fraction, size, n_keys):
+        client = clients[tenant]
         while sim.now < 15.0:
             key = rng.randrange(n_keys)
             if rng.random() < get_fraction:
-                yield from cluster.get(tenant, key)
+                yield from client.get(tenant, key)
             else:
-                yield from cluster.put(tenant, key, size)
+                yield from client.put(tenant, key, size)
 
     for _ in range(4):
-        sim.process(client("web", 0.8, 4 * KIB, 4000))
-        sim.process(client("batch", 0.1, 32 * KIB, 500))
+        sim.process(driver("web", 0.8, 4 * KIB, 4000))
+        sim.process(driver("batch", 0.1, 32 * KIB, 500))
 
     sim.run(until=15.0)
 
-    print("\n=== after 15s of load ===")
+    print("\n=== after 15s of load through the fabric ===")
     for tenant in ("web", "batch"):
         total = cluster.total_stats(tenant)
-        print(f"  {tenant:>6}: {total.gets} GETs + {total.puts} PUTs system-wide, "
-              f"split " + " / ".join(
+        print(f"  {tenant:>6}: {total.gets} GETs + {total.puts} PUTs system-wide "
+              f"(+{total.repl_applies} backup applies), split " + " / ".join(
                   f"{node.stats(tenant).gets + node.stats(tenant).puts}@{name}"
                   for name, node in cluster.nodes.items()))
+    rpc = {name: svc.rpc.stats for name, svc in cluster.services.items()}
+    print("  rpc round trips: " + ", ".join(
+        f"{name} served {stats.served}" for name, stats in rpc.items()))
     print(f"  overflow notifications collected: {len(cluster.overflows)}")
 
     # Simulate a hotspot: pile web's reservation onto node0 and let the
     # cluster-level policy redistribute it.
-    node0, node1 = cluster.nodes["node0"], cluster.nodes["node1"]
+    node0 = cluster.nodes["node0"]
     big = Reservation(gets=20_000.0, puts=5_000.0)
     node0.set_reservation("web", big)
     print("\n=== hotspot: web reserves 25k units/s on node0 alone ===")
@@ -67,6 +83,7 @@ def main() -> None:
         local = node.policy.reservation("web")
         print(f"  {name} web: GET {local.gets:.0f}, PUT {local.puts:.0f} "
               f"(node demand {node.policy.total_demand:.0f} VOP/s)")
+    cluster.stop()
 
 
 if __name__ == "__main__":

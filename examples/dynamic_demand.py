@@ -42,7 +42,8 @@ def main() -> None:
         print("--- t=30: workload shifted to write-heavy 64K PUTs ---")
 
     def sampler():
-        print(f"{'t':>4} {'GET cost':>9} {'PUT direct':>11} {'PUT+FLUSH+COMPACT':>18} {'alloc VOP/s':>12}")
+        print(f"{'t':>4} {'GET cost':>9} {'PUT direct':>11} "
+              f"{'PUT+FLUSH+COMPACT':>18} {'alloc VOP/s':>12}")
         while sim.now < 60.0:
             yield sim.timeout(5.0)
             get_profile = node.tracker.profile("acme", RequestClass.GET)

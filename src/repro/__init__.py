@@ -46,6 +46,7 @@ from .core import (
     reference_capacity,
 )
 from .engine import EngineConfig, LsmEngine
+from .net import ClusterClient, NetConfig, NetworkFabric
 from .node import NodeConfig, StorageCluster, StorageNode
 from .sim import Simulator
 from .ssd import SsdDevice, SsdProfile, get_profile
@@ -54,6 +55,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "CapacityModel",
+    "ClusterClient",
     "CostModel",
     "EngineConfig",
     "ExactCostModel",
@@ -63,6 +65,8 @@ __all__ = [
     "LibraIo",
     "LibraScheduler",
     "LsmEngine",
+    "NetConfig",
+    "NetworkFabric",
     "NodeConfig",
     "OpKind",
     "RequestClass",

@@ -7,11 +7,18 @@ across tenants; 1.0 is perfect insulation / perfectly fair penalty.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["mmr", "throughput_ratio", "cdf_points", "percentile", "normalized_series"]
+__all__ = [
+    "mmr",
+    "throughput_ratio",
+    "cdf_points",
+    "percentile",
+    "normalized_series",
+    "slo_attainment",
+]
 
 
 def throughput_ratio(achieved: float, expected: float) -> float:
@@ -34,6 +41,18 @@ def mmr(ratios: Iterable[float]) -> float:
     if largest <= 0:
         return 0.0
     return min(values) / largest
+
+
+def slo_attainment(samples: Sequence[float], threshold: float) -> float:
+    """Fraction of samples at or under an SLO threshold (empty -> 0).
+
+    The per-tenant service-level view of a latency distribution: an SLO
+    of "99% of requests under 50 ms" is met when
+    ``slo_attainment(latencies, 0.050) >= 0.99``.
+    """
+    if not samples:
+        return 0.0
+    return sum(1 for s in samples if s <= threshold) / len(samples)
 
 
 def cdf_points(samples: Sequence[float]) -> List[Tuple[float, float]]:

@@ -14,8 +14,8 @@ a cost model does not require re-running the sweep.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, Tuple
 
 from ..sim import Simulator
 from ..ssd import SsdDevice, SsdProfile, get_profile
@@ -173,11 +173,11 @@ def _main() -> None:  # pragma: no cover - regeneration utility
 
     for name in ("intel320", "samsung840", "oczvector"):
         result = calibrate_device(get_profile(name))
-        print(f"_register_reference(")
+        print("_register_reference(")
         print(f"    {name!r},")
         print(f"    read={{{', '.join(f'{s}: {v:.1f}' for s, v in sorted(result.read_iops.items()))}}},")
         print(f"    write={{{', '.join(f'{s}: {v:.1f}' for s, v in sorted(result.write_iops.items()))}}},")
-        print(f")")
+        print(")")
         sys.stdout.flush()
 
 

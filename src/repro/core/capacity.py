@@ -17,7 +17,7 @@ profiles are embedded as reference constants (regenerate with
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from ..ssd import SsdProfile, get_profile
 from .calibration import reference_calibration

@@ -22,7 +22,7 @@ application object sizes, ignoring FLUSH/COMPACT amplification.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Optional
 
 from ..sim import Interrupt, Simulator
 from .scheduler import LibraScheduler

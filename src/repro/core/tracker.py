@@ -30,7 +30,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import DefaultDict, Dict, Optional, Tuple
+from typing import DefaultDict, Dict, Tuple
 
 from .tags import InternalOp, IoTag, OpKind, RequestClass
 

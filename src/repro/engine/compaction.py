@@ -19,7 +19,7 @@ from __future__ import annotations
 from typing import Iterator, List, Optional, Tuple
 
 from .memtable import TOMBSTONE
-from .sstable import SsTable, TableBuilder
+from .sstable import SsTable
 from .version import Version
 
 __all__ = ["CompactionJob", "pick_compaction", "merge_entries", "split_outputs"]

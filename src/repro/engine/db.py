@@ -23,7 +23,7 @@ flush is already behind, as LevelDB does).
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..core.tags import InternalOp, IoTag, RequestClass
@@ -139,6 +139,8 @@ class LsmEngine:
         self.immutable: Optional[Memtable] = None
         self._wal = Wal(sim, fs, f"{tenant}-wal-0")
         self._wal_seq = 0
+        #: engine-lifetime WAL commit listeners (re-attached on rotation)
+        self._wal_listeners: List = []
         self._sequence = 0
         self._flush_done: Event = sim.event()
         self._compact_done: Event = sim.event()
@@ -290,6 +292,16 @@ class LsmEngine:
         """The live write-ahead log (chaos scripts probe ``wal.busy``)."""
         return self._wal
 
+    def subscribe_wal(self, listener) -> None:
+        """Register ``listener(records)`` on durable WAL commit batches.
+
+        Survives WAL rotation: the engine re-subscribes the listener on
+        every fresh log, so the replication layer observes the durable
+        record stream continuously.
+        """
+        self._wal_listeners.append(listener)
+        self._wal.subscribe(listener)
+
     def eligible_count(self, key: int) -> int:
         """Files a GET for ``key`` would probe right now (diagnostics)."""
         return self.version.eligible_count(key)
@@ -331,6 +343,8 @@ class LsmEngine:
         self.memtable = Memtable(self.config.memtable_bytes)
         self._wal_seq += 1
         self._wal = Wal(self.sim, self.fs, f"{self.tenant}-wal-{self._wal_seq}")
+        for listener in self._wal_listeners:
+            self._wal.subscribe(listener)
         if self.tracker is not None:
             self.tracker.note_trigger(self.tenant, RequestClass.PUT, InternalOp.FLUSH)
         self.sim.process(

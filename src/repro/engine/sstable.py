@@ -12,13 +12,12 @@ span holding the object.
 from __future__ import annotations
 
 import bisect
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 from ..core.tags import IoTag
 from ..sim import Event, Simulator
 from ..ssd import SimFile, SimFilesystem
 from .bloom import BloomFilter
-from .memtable import TOMBSTONE
 
 __all__ = ["SsTable", "TableBuilder", "BLOCK_SIZE", "INDEX_ENTRY_BYTES"]
 

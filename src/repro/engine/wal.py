@@ -57,6 +57,22 @@ class Wal:
         #: group commit has not completed are not yet in here
         self.entries: List[Tuple[int, int]] = []
         self._drain_waiters: List[Event] = []
+        #: commit listeners: called with the batch's durable (key, size)
+        #: records the moment their group commit lands — the shipping
+        #: point primary-backup replication hangs off (a record is
+        #: eligible for acknowledgement and for replication bookkeeping
+        #: exactly when it is durable here, never earlier)
+        self._commit_listeners: List = []
+
+    def subscribe(self, listener) -> None:
+        """Register ``listener(records)`` for durable commit batches.
+
+        ``records`` is the list of logical (key, size) payloads whose
+        group commit just landed (opaque appends excluded).  Listeners
+        run synchronously at the commit point, before the waiters'
+        acknowledgement events fire.
+        """
+        self._commit_listeners.append(listener)
 
     @property
     def size(self) -> int:
@@ -111,6 +127,10 @@ class Wal:
                             ev.fail(exc)
                     continue
                 self._inflight = []
+                committed = [rec for _nbytes, _ev, rec in batch if rec is not None]
+                if committed and self._commit_listeners:
+                    for listener in self._commit_listeners:
+                        listener(committed)
                 for _nbytes, ev, record in batch:
                     if record is not None:
                         self.entries.append(record)

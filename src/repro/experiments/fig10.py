@@ -15,13 +15,12 @@ unprovisionable-but-usable gap for PUT-heavy small-value workloads.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from ..analysis.metrics import cdf_points, percentile
 from ..analysis.report import format_cdf, format_heatmap, format_table
 from ..core.capacity import reference_capacity, stack_floor
 from ..core.policy import Reservation
-from ..engine import EngineConfig
 from ..node import NodeConfig, StorageNode
 from ..sim import Simulator
 from ..ssd import get_profile

@@ -23,13 +23,7 @@ from typing import Dict, Tuple
 from ..analysis.report import format_table
 from ..core.policy import Reservation
 from .common import parallel_map
-from .kvdynamic import (
-    GROUPS,
-    build_scenario,
-    derive_reservations,
-    group_of,
-    scale_reservation,
-)
+from .kvdynamic import build_scenario, derive_reservations, group_of, scale_reservation
 
 __all__ = ["run", "render", "Fig11Result"]
 

@@ -17,7 +17,7 @@ sizes (more eligible files) except in the split workload.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional
 
 from ..analysis.report import format_table
 from ..core.policy import Reservation

@@ -122,7 +122,11 @@ def render(result: Fig4Result) -> str:
     row_labels = [size_label(s) for s in reversed(result.sizes)]
     seen = sorted(
         {(ratio, sigma) for (ratio, sigma, _r, _w) in result.cells},
-        key=lambda pair: (pair[1] is not None, -(pair[0] if pair[0] is not None else 2), pair[1] or 0),
+        key=lambda pair: (
+            pair[1] is not None,
+            -(pair[0] if pair[0] is not None else 2),
+            pair[1] or 0,
+        ),
     )
     for ratio, sigma in seen:
         title = f"{ratio_label(ratio)} read/write"

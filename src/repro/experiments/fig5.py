@@ -33,7 +33,11 @@ def from_fig4(fig4: Fig4Result) -> Fig5Result:
     floor = fig4.floor
     variants = sorted(
         {(ratio, sigma) for (ratio, sigma, _r, _w) in fig4.cells},
-        key=lambda pair: (pair[1] is not None, -(pair[0] if pair[0] is not None else 2), pair[1] or 0),
+        key=lambda pair: (
+            pair[1] is not None,
+            -(pair[0] if pair[0] is not None else 2),
+            pair[1] or 0,
+        ),
     )
     curves = {}
     for ratio, sigma in variants:

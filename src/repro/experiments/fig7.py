@@ -12,7 +12,7 @@ both drop together.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 from ..analysis.metrics import mmr
 from ..analysis.report import format_table

@@ -141,8 +141,12 @@ def run(
 
 
 def render(result: Fig9Result) -> str:
-    blocks = [f"Figure 9 — allocation accuracy by cost model, {result.profile} ({result.mode})"]
-    for which, label in ((0, "IOP insulation accuracy (MMR)"), (1, "VOP allocation accuracy (MMR)")):
+    blocks = [
+        f"Figure 9 — allocation accuracy by cost model, "
+        f"{result.profile} ({result.mode})"
+    ]
+    panels = ((0, "IOP insulation accuracy (MMR)"), (1, "VOP allocation accuracy (MMR)"))
+    for which, label in panels:
         rows = []
         for model in COST_MODEL_NAMES:
             row: List[object] = [model]

@@ -19,15 +19,13 @@ exactly those rates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from ..core.policy import Reservation
-from ..engine import EngineConfig
 from ..node import NodeConfig, StorageNode
 from ..sim import Simulator
 from ..ssd import get_profile
-from ..workload.generator import KvLoad, KvTenantSpec, bootstrap_tenant, start_kv_load
+from ..workload.generator import KvLoad, KvTenantSpec, bootstrap_tenant
 
 __all__ = [
     "ALT_REGION_BASE",

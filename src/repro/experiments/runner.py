@@ -10,11 +10,12 @@ Usage::
 
 ``--jobs N`` parallelizes the figures whose grids decompose into
 independent work units (fig2, fig4, fig5, fig7, fig9, fig10, fig11)
-over ``N`` worker processes.  Results are byte-identical to a serial
-run: every unit owns its simulator and derived seed, and the merge is
-ordered.  Figures that are one continuous simulated timeline (fig3,
-fig12, chaosfig) or pure computation (fig6, fig8) accept the flag and
-run serially.
+over ``N`` worker processes, as does ``clusterfig`` (one cell per
+replication factor).  Results are byte-identical to a serial run: every
+unit owns its simulator and derived seed, and the merge is ordered.
+Figures that are one continuous simulated timeline (fig3, fig12,
+chaosfig) or pure computation (fig6, fig8) accept the flag and run
+serially.
 """
 
 from __future__ import annotations
@@ -30,7 +31,7 @@ __all__ = ["main", "FIGURES"]
 FIGURES = (
     "fig2", "fig3", "fig4", "fig5", "fig6",
     "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
-    "chaosfig",
+    "chaosfig", "clusterfig",
 )
 
 

@@ -8,6 +8,12 @@ it inside :class:`~repro.ssd.device.SsdDevice`; and the exception types
 in :mod:`repro.faults.errors` carry failures up the stack to the layers
 that handle them (engine checksum re-reads, node retries/timeouts,
 policy capacity degradation).
+
+The same plan machinery covers the simulated network: MSG_DROP /
+MSG_DELAY / MSG_DUP windows are evaluated per message by a
+:class:`NetFaultInjector` inside :class:`~repro.net.fabric.NetworkFabric`,
+and the :class:`NetworkFault` exception family carries RPC failures to
+the retry budgets that own them.
 """
 
 from .errors import (
@@ -17,11 +23,15 @@ from .errors import (
     DeviceError,
     DeviceReadError,
     DeviceWriteError,
+    NetworkFault,
+    NodeUnreachable,
+    QuorumError,
     RequestTimeout,
     RetriesExhausted,
+    RpcTimeout,
     StorageFault,
 )
-from .injector import FaultInjector
+from .injector import FaultInjector, NetFaultInjector
 from .plan import FaultKind, FaultPlan, FaultWindow
 
 __all__ = [
@@ -35,7 +45,12 @@ __all__ = [
     "FaultKind",
     "FaultPlan",
     "FaultWindow",
+    "NetFaultInjector",
+    "NetworkFault",
+    "NodeUnreachable",
+    "QuorumError",
     "RequestTimeout",
     "RetriesExhausted",
+    "RpcTimeout",
     "StorageFault",
 ]

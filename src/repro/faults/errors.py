@@ -19,6 +19,10 @@ __all__ = [
     "CorruptionError",
     "CrashError",
     "RequestTimeout",
+    "NetworkFault",
+    "RpcTimeout",
+    "NodeUnreachable",
+    "QuorumError",
     "RetriesExhausted",
     "TRANSIENT_FAULTS",
 ]
@@ -63,6 +67,38 @@ class CrashError(StorageFault):
 
 class RequestTimeout(StorageFault):
     """A request exceeded its per-attempt latency budget."""
+
+
+class NetworkFault(StorageFault):
+    """Base class for simulated-network failures (see :mod:`repro.net`).
+
+    Network faults are transient by construction: a dropped or delayed
+    message resolves on retry (possibly against a different replica
+    after a failover), so RPC clients own a retry budget just like the
+    storage node owns one for device faults.
+    """
+
+
+class RpcTimeout(NetworkFault):
+    """An RPC attempt got no response within its per-attempt budget.
+
+    Covers every silent failure mode the caller cannot distinguish: the
+    request or response message was dropped, the target node is dead,
+    or the response is still queued behind a congested NIC.
+    """
+
+
+class NodeUnreachable(NetworkFault):
+    """An RPC was addressed to a node the membership knows is down."""
+
+
+class QuorumError(NetworkFault):
+    """A replicated write could not reach its write quorum.
+
+    The record may be durable on a minority of replicas, but the caller
+    was never acknowledged, so re-issuing is safe (replica applies are
+    sequence-idempotent and the engine is last-writer-wins per key).
+    """
 
 
 class RetriesExhausted(StorageFault):

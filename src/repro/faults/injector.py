@@ -17,7 +17,7 @@ from typing import Optional
 from .errors import CorruptionError, DeviceReadError, DeviceWriteError
 from .plan import FaultKind, FaultPlan
 
-__all__ = ["FaultInjector"]
+__all__ = ["FaultInjector", "NetFaultInjector"]
 
 
 class FaultInjector:
@@ -76,6 +76,56 @@ class FaultInjector:
                 f"(offset={offset}, size={size})"
             )
         return None
+
+    def _roll(self, now: float, kind: FaultKind) -> bool:
+        for window in self.plan.active(now, kind):
+            if self._rng.random() < window.probability:
+                return True
+        return False
+
+
+class NetFaultInjector:
+    """Evaluates a :class:`FaultPlan`'s message windows per message.
+
+    The network fabric consults it at send time: the message's send
+    time decides which MSG_* windows apply, and a dedicated seeded RNG
+    (decoupled from the device injector's stream, so adding network
+    chaos never perturbs device fault draws) decides drop/duplicate
+    outcomes.  Like the device injector, draws happen only while an
+    applicable window is active — fault-free runs consume no
+    randomness.
+    """
+
+    def __init__(self, plan: FaultPlan, name: str = "net"):
+        self.plan = plan
+        self.name = name
+        self._rng = random.Random((plan.seed << 1) ^ 0x0DDBA11)
+        self.dropped_messages = 0
+        self.duplicated_messages = 0
+        self.delayed_messages = 0
+
+    def drop(self, now: float) -> bool:
+        """True if a message sent at ``now`` is lost in flight."""
+        if self._roll(now, FaultKind.MSG_DROP):
+            self.dropped_messages += 1
+            return True
+        return False
+
+    def duplicate(self, now: float) -> bool:
+        """True if a message sent at ``now`` is delivered twice."""
+        if self._roll(now, FaultKind.MSG_DUP):
+            self.duplicated_messages += 1
+            return True
+        return False
+
+    def extra_delay(self, now: float) -> float:
+        """Added in-flight latency for a message sent at ``now``."""
+        delay = sum(
+            w.extra_latency for w in self.plan.active(now, FaultKind.MSG_DELAY)
+        )
+        if delay > 0:
+            self.delayed_messages += 1
+        return delay
 
     def _roll(self, now: float, kind: FaultKind) -> bool:
         for window in self.plan.active(now, kind):

@@ -39,6 +39,13 @@ class FaultKind(str, Enum):
     DEGRADED_BW = "degraded-bw"
     #: the device accepts no new ops until the window closes
     STALL = "stall"
+    # -- network message faults (evaluated by repro.net's fabric) ----------
+    #: messages are dropped in flight (probability per message)
+    MSG_DROP = "msg-drop"
+    #: messages are delayed by ``extra_latency`` extra seconds
+    MSG_DELAY = "msg-delay"
+    #: messages are delivered twice (probability per message)
+    MSG_DUP = "msg-duplicate"
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,34 @@
+"""Simulated network fabric, RPC, replication, and failover.
+
+The cluster-layer substrate the paper assumes but does not model:
+cross-node messages cost simulated time on NIC/link resources
+(:mod:`.fabric`), request/response RPC adds correlation, per-attempt
+timeouts, and retry budgets (:mod:`.rpc`), partitions are replicated
+primary-backup with write quorums (:mod:`.replication`), and heartbeat
+failure detection promotes backups when a node dies (:mod:`.failover`).
+Applications come in through :class:`~repro.net.client.ClusterClient`.
+"""
+
+from .client import ClusterClient
+from .fabric import LinkStats, NetConfig, NetworkFabric, Nic
+from .failover import FailoverRecord, FailureDetector, HeartbeatService
+from .replication import KvService, Membership
+from .rpc import ACK_BYTES, RpcEndpoint, RpcError, RpcMessage, RpcStats
+
+__all__ = [
+    "ACK_BYTES",
+    "ClusterClient",
+    "FailoverRecord",
+    "FailureDetector",
+    "HeartbeatService",
+    "KvService",
+    "LinkStats",
+    "Membership",
+    "NetConfig",
+    "NetworkFabric",
+    "Nic",
+    "RpcEndpoint",
+    "RpcError",
+    "RpcMessage",
+    "RpcStats",
+]

@@ -1,0 +1,200 @@
+"""The cluster's client library: resolution, RPC, and failover retries.
+
+A :class:`ClusterClient` is what a tenant application links against: it
+owns a fabric endpoint (client requests pay real serialization and
+propagation time, both ways), resolves each key to its partition
+primary through the shared :class:`~repro.node.router.PartitionMap`,
+and calls the primary's ``kv.*`` methods.
+
+Failover shows up here as *re-resolution*: when a call's RPC budget is
+exhausted (the primary died, or the network ate every attempt), the
+client re-resolves the key — the map version has usually been bumped by
+the failure detector by then, so the cached owner is dropped and the
+new primary is tried.  The rounds budget bounds how long a request can
+chase a moving owner before the failure surfaces to the application.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..faults import NodeUnreachable, RetriesExhausted, StorageFault
+from ..node.router import PartitionMap
+from ..node.tenant import LatencyRecorder, RequestStats
+from ..sim import Simulator
+from .fabric import NetConfig, NetworkFabric
+from .replication import Membership
+from .rpc import ACK_BYTES, RpcEndpoint
+
+__all__ = ["ClusterClient"]
+
+
+class ClusterClient:
+    """One application's window onto the replicated cluster."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fabric: NetworkFabric,
+        partition_map: PartitionMap,
+        membership: Membership,
+        name: str = "client0",
+        config: Optional[NetConfig] = None,
+        resolve_rounds: int = 3,
+    ):
+        if resolve_rounds < 1:
+            raise ValueError("need at least one resolution round")
+        self.sim = sim
+        self.partition_map = partition_map
+        self.membership = membership
+        self.config = config or fabric.config
+        self.resolve_rounds = resolve_rounds
+        self.rpc = RpcEndpoint(sim, fabric, name, config=self.config)
+        #: per-tenant end-to-end latency (network + storage + retries)
+        self.latencies: Dict[str, LatencyRecorder] = {}
+        #: per-tenant app-level counters as seen from this client
+        self.stats: Dict[str, RequestStats] = {}
+        self._version_seen = -1
+        self._primary_cache: Dict[tuple, str] = {}
+
+    # -- resolution (the Router contract, client-side) ---------------------
+
+    def resolve(self, tenant: str, key: int) -> str:
+        """The key's primary, via a map-version-aware cache."""
+        pm = self.partition_map
+        if pm.version != self._version_seen:
+            self._primary_cache.clear()
+            self._version_seen = pm.version
+        partition = pm.partition_of(tenant, key)
+        slot = (tenant, partition.index)
+        cached = self._primary_cache.get(slot)
+        if cached is None:
+            cached = self._primary_cache[slot] = partition.node
+        return cached
+
+    # -- request API (drive with ``yield from``) ---------------------------
+
+    def get(self, tenant: str, key: int):
+        """GET; returns the object size or None.
+
+        With ``quorum_reads`` enabled the read goes to a quorum of
+        replicas and the chain-senior reply wins (replicas hold
+        prefixes of one last-writer-wins stream, so the most senior
+        respondent is the freshest).
+        """
+        started = self.sim.now
+        if self.config.quorum_reads and self.config.rf > 1:
+            size = yield from self._quorum_get(tenant, key)
+        else:
+            reply = yield from self._call_primary(
+                tenant, key, "kv.get", {"tenant": tenant, "key": key}, ACK_BYTES
+            )
+            size = reply["size"]
+        self._note(tenant, "get", size or 1024, started)
+        return size
+
+    def put(self, tenant: str, key: int, size: int):
+        """PUT; acked once durable on the partition's write quorum."""
+        started = self.sim.now
+        yield from self._call_primary(
+            tenant,
+            key,
+            "kv.put",
+            {"tenant": tenant, "key": key, "size": size},
+            size,
+        )
+        self._note(tenant, "put", size, started)
+
+    def delete(self, tenant: str, key: int):
+        started = self.sim.now
+        yield from self._call_primary(
+            tenant, key, "kv.delete", {"tenant": tenant, "key": key}, ACK_BYTES
+        )
+        self._note(tenant, "delete", 1024, started)
+
+    # -- internals ---------------------------------------------------------
+
+    def _call_primary(self, tenant: str, key: int, method: str, payload, nbytes: int):
+        """Call the key's primary, re-resolving across failovers."""
+        stats = self.stats.setdefault(tenant, RequestStats())
+        last: Optional[StorageFault] = None
+        tried: Optional[str] = None
+        for _round in range(self.resolve_rounds):
+            target = self.resolve(tenant, key)
+            if target == tried:
+                # Same owner as the round that just failed: wait out
+                # roughly one detection period so the map has a chance
+                # to change before burning another full RPC budget.
+                yield self.sim.timeout(self.config.suspicion_timeout)
+                target = self.resolve(tenant, key)
+            tried = target
+            if not self.membership.is_live(target):
+                # Known-dead owner: fail fast, then re-resolve (the
+                # detector bumps the map right after marking it dead).
+                stats.retries += 1
+                last = NodeUnreachable(
+                    f"{self.rpc.name}: primary {target} for {tenant}/{key} is down"
+                )
+                yield self.sim.timeout(self.config.rpc_backoff)
+                continue
+            try:
+                result = yield from self.rpc.call(target, method, payload, nbytes)
+                return result
+            except RetriesExhausted as exc:
+                stats.retries += 1
+                last = exc
+        stats.errors += 1
+        raise RetriesExhausted(
+            f"{self.rpc.name}: {method} {tenant}/{key} failed after "
+            f"{self.resolve_rounds} resolution rounds"
+        ) from last
+
+    def _quorum_get(self, tenant: str, key: int):
+        """Read from a quorum of live replicas; chain-senior reply wins."""
+        partition = self.partition_map.partition_of(tenant, key)
+        live = [r for r in partition.replicas if self.membership.is_live(r)]
+        if not live:
+            raise NodeUnreachable(
+                f"{self.rpc.name}: no live replica for {tenant}/{partition.index}"
+            )
+        need = min(self.config.effective_read_quorum, len(live))
+        state = {"replies": {}, "done": 0}
+        quorum = self.sim.event()
+        payload = {"tenant": tenant, "key": key}
+        for rank, name in enumerate(live):
+            self.sim.process(
+                self._read_one(name, rank, payload, state, need, len(live), quorum),
+                name=f"qread.{self.rpc.name}.{name}",
+            )
+        yield quorum
+        # Chain order = seniority: rank 0 is the primary.
+        best_rank = min(state["replies"])
+        return state["replies"][best_rank]
+
+    def _read_one(self, target, rank, payload, state, need, total, quorum):
+        try:
+            reply = yield from self.rpc.call(target, "kv.get", payload, ACK_BYTES)
+            state["replies"][rank] = reply["size"]
+        except StorageFault:
+            pass
+        state["done"] += 1
+        if quorum.triggered:
+            return
+        if len(state["replies"]) >= need:
+            quorum.succeed()
+        elif state["done"] == total:
+            if state["replies"]:
+                quorum.succeed()
+            else:
+                quorum.fail(
+                    NodeUnreachable(
+                        f"{self.rpc.name}: kv.get {payload['tenant']}/"
+                        f"{payload['key']}: no replica answered"
+                    )
+                )
+
+    def _note(self, tenant: str, kind: str, size: int, started: float) -> None:
+        self.stats.setdefault(tenant, RequestStats()).note(kind, size)
+        self.latencies.setdefault(tenant, LatencyRecorder()).record(
+            kind, self.sim.now - started
+        )

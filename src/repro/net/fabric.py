@@ -1,0 +1,252 @@
+"""The simulated network fabric: NICs, links, and message delivery.
+
+Cross-node hops cost simulated time and congest under load.  Each
+endpoint (storage node, cluster controller, client) owns a :class:`Nic`
+whose egress is a FIFO serialization resource: a message occupies the
+NIC for ``(bytes + overhead) / bandwidth`` seconds, and messages that
+arrive while it is busy queue behind it — so a replication storm or a
+fan-in of responses shows up as queueing delay, exactly like the SSD
+model's controller stage.  Delivery then takes a per-link propagation
+latency.  The model is deliberately structural (a single store-and-
+forward hop per message, no TCP dynamics): curve shapes — serialization
+cost growing with object size, congestion knees under fan-in — survive,
+with calibrated constants.
+
+Message faults reuse the :mod:`repro.faults` plan machinery: MSG_DROP /
+MSG_DELAY / MSG_DUP windows are evaluated per message by a dedicated
+:class:`~repro.faults.NetFaultInjector`, so network chaos is as
+replayable as device chaos.  A node marked down (a kill) silently eats
+every message addressed to or sent from it — the failure detector, not
+the fabric, is what tells the rest of the cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..faults import FaultPlan, NetFaultInjector
+from ..sim import Simulator, Timeout
+
+__all__ = ["NetConfig", "LinkStats", "Nic", "NetworkFabric"]
+
+
+@dataclass(frozen=True)
+class NetConfig:
+    """Fabric, RPC, replication, and failure-detection parameters.
+
+    The bandwidth/latency defaults model an intra-rack 10 GbE hop
+    (~1.25 GB/s per NIC, ~100 us one-way including switching); they are
+    calibrated constants, not measurements, like the SSD profiles.
+    """
+
+    #: per-NIC egress bandwidth in bytes/second
+    nic_bandwidth: float = 1.25e9
+    #: one-way propagation + switching latency per message, seconds
+    link_latency: float = 100e-6
+    #: framing/header bytes added to every message's serialization cost
+    message_overhead: int = 256
+    # -- replication -------------------------------------------------------
+    #: replication factor: replicas per partition (1 = no replication)
+    rf: int = 1
+    #: replicas that must durably hold a PUT/DELETE before the ack
+    #: (None = majority of rf; clamped to the live replica count)
+    write_quorum: Optional[int] = None
+    #: serve GETs from a read quorum (freshest reply wins) instead of
+    #: the primary alone
+    quorum_reads: bool = False
+    #: replies a quorum read waits for (None = majority of rf)
+    read_quorum: Optional[int] = None
+    # -- RPC budgets (mirroring NodeConfig's device-fault budgets) ---------
+    #: per-attempt response budget, seconds
+    rpc_timeout: float = 0.25
+    #: transparent retries per call before the failure surfaces
+    rpc_retries: int = 5
+    #: initial retry backoff, seconds (doubles per attempt)
+    rpc_backoff: float = 0.005
+    # -- failure detection -------------------------------------------------
+    #: seconds between heartbeats from each node
+    heartbeat_interval: float = 0.2
+    #: silence after which a node is suspected and failed over
+    suspicion_timeout: float = 1.0
+    #: MSG_DROP / MSG_DELAY / MSG_DUP windows applied to every message
+    fault_plan: Optional[FaultPlan] = None
+
+    def __post_init__(self):
+        if self.rf < 1:
+            raise ValueError(f"replication factor {self.rf} < 1")
+        if self.nic_bandwidth <= 0:
+            raise ValueError("nic_bandwidth must be positive")
+        if self.link_latency < 0:
+            raise ValueError("link_latency must be non-negative")
+        if self.write_quorum is not None and not 1 <= self.write_quorum <= self.rf:
+            raise ValueError(
+                f"write_quorum {self.write_quorum} not in [1, rf={self.rf}]"
+            )
+        if self.read_quorum is not None and not 1 <= self.read_quorum <= self.rf:
+            raise ValueError(
+                f"read_quorum {self.read_quorum} not in [1, rf={self.rf}]"
+            )
+
+    @property
+    def effective_write_quorum(self) -> int:
+        """The configured write quorum, defaulting to a majority of rf."""
+        return self.write_quorum if self.write_quorum is not None else self.rf // 2 + 1
+
+    @property
+    def effective_read_quorum(self) -> int:
+        """The configured read quorum, defaulting to a majority of rf."""
+        return self.read_quorum if self.read_quorum is not None else self.rf // 2 + 1
+
+
+@dataclass
+class LinkStats:
+    """Per-(src, dst) delivery counters."""
+
+    messages: int = 0
+    bytes: int = 0
+    #: summed seconds messages waited behind the egress NIC
+    queue_wait: float = 0.0
+    max_queue_wait: float = 0.0
+    dropped: int = 0
+    duplicated: int = 0
+    #: messages addressed to a node that was down at delivery time
+    dead_letters: int = 0
+
+
+class Nic:
+    """One endpoint's egress serialization resource.
+
+    Modeled as a next-free-time accumulator rather than a DES process:
+    a message starting service at ``max(now, next_free)`` and holding
+    the NIC for its serialization time yields exactly FIFO queueing
+    delay under load, with no per-message process overhead.
+    """
+
+    __slots__ = ("name", "bandwidth", "next_free", "messages", "bytes")
+
+    def __init__(self, name: str, bandwidth: float):
+        self.name = name
+        self.bandwidth = bandwidth
+        self.next_free = 0.0
+        self.messages = 0
+        self.bytes = 0
+
+    def serialize(self, now: float, nbytes: int) -> Tuple[float, float]:
+        """Occupy the NIC for ``nbytes``; returns (queue_wait, done_at)."""
+        service = nbytes / self.bandwidth
+        start = self.next_free if self.next_free > now else now
+        self.next_free = start + service
+        self.messages += 1
+        self.bytes += nbytes
+        return start - now, self.next_free
+
+
+class NetworkFabric:
+    """Message transport between named endpoints.
+
+    ``send`` is fire-and-forget: the message is delivered to the
+    destination endpoint's handler at its (congestion- and fault-
+    adjusted) arrival time, or never — request/response semantics live
+    one layer up, in :mod:`repro.net.rpc`.
+    """
+
+    def __init__(self, sim: Simulator, config: Optional[NetConfig] = None):
+        self.sim = sim
+        self.config = config or NetConfig()
+        self.nics: Dict[str, Nic] = {}
+        self._handlers: Dict[str, Callable[[Any], None]] = {}
+        self._down: Dict[str, float] = {}  # endpoint -> kill time
+        self.link_stats: Dict[Tuple[str, str], LinkStats] = {}
+        self.injector = (
+            NetFaultInjector(self.config.fault_plan)
+            if self.config.fault_plan is not None
+            else None
+        )
+
+    # -- membership --------------------------------------------------------
+
+    def attach(self, name: str, handler: Callable[[Any], None]) -> Nic:
+        """Register an endpoint; ``handler(message)`` runs per delivery."""
+        if name in self.nics:
+            raise ValueError(f"endpoint {name!r} already attached")
+        nic = Nic(name, self.config.nic_bandwidth)
+        self.nics[name] = nic
+        self._handlers[name] = handler
+        return nic
+
+    def set_down(self, name: str) -> None:
+        """Kill an endpoint: it no longer sends or receives anything."""
+        self._down.setdefault(name, self.sim.now)
+
+    def is_down(self, name: str) -> bool:
+        return name in self._down
+
+    # -- transport ---------------------------------------------------------
+
+    def send(self, src: str, dst: str, nbytes: int, message: Any) -> None:
+        """Ship ``message`` from ``src`` to ``dst`` (fire-and-forget).
+
+        Serialization occupies the source NIC (FIFO), propagation adds
+        the link latency, and the active fault windows may drop, delay,
+        or duplicate the message in flight.  Messages from or to a dead
+        endpoint vanish.
+        """
+        if src in self._down:
+            return
+        now = self.sim.now
+        stats = self.link_stats.get((src, dst))
+        if stats is None:
+            stats = self.link_stats[(src, dst)] = LinkStats()
+        wire_bytes = nbytes + self.config.message_overhead
+        queue_wait, done_at = self.nics[src].serialize(now, wire_bytes)
+        stats.messages += 1
+        stats.bytes += wire_bytes
+        stats.queue_wait += queue_wait
+        if queue_wait > stats.max_queue_wait:
+            stats.max_queue_wait = queue_wait
+        deliveries = 1
+        extra = 0.0
+        if self.injector is not None:
+            if self.injector.drop(now):
+                stats.dropped += 1
+                return
+            extra = self.injector.extra_delay(now)
+            if self.injector.duplicate(now):
+                stats.duplicated += 1
+                deliveries = 2
+        arrival = done_at + self.config.link_latency + extra
+        for copy in range(deliveries):
+            # Duplicates trail the original by one propagation delay.
+            at = arrival + copy * self.config.link_latency
+            timer = Timeout(self.sim, at - now)
+            timer.callbacks.append(
+                lambda _ev, dst=dst, message=message, stats=stats: self._deliver(
+                    dst, message, stats
+                )
+            )
+
+    def _deliver(self, dst: str, message: Any, stats: LinkStats) -> None:
+        if dst in self._down:
+            stats.dead_letters += 1
+            return
+        handler = self._handlers.get(dst)
+        if handler is not None:
+            handler(message)
+
+    # -- diagnostics -------------------------------------------------------
+
+    def stats_table(self) -> Dict[str, Dict[str, float]]:
+        """Per-link counters keyed "src->dst", for reports."""
+        table: Dict[str, Dict[str, float]] = {}
+        for (src, dst), s in sorted(self.link_stats.items()):
+            table[f"{src}->{dst}"] = {
+                "messages": s.messages,
+                "kbytes": round(s.bytes / 1024, 1),
+                "queue_wait_ms": round(s.queue_wait * 1e3, 3),
+                "max_queue_wait_ms": round(s.max_queue_wait * 1e3, 3),
+                "dropped": s.dropped,
+                "duplicated": s.duplicated,
+                "dead_letters": s.dead_letters,
+            }
+        return table

@@ -1,0 +1,181 @@
+"""Failure detection and partition failover.
+
+Every storage node's :class:`KvService` endpoint casts a heartbeat to a
+cluster controller endpoint on a fixed period; the controller's
+:class:`FailureDetector` sweeps the table and declares any node silent
+for longer than the suspicion timeout **dead** — there is no
+un-suspecting here (a killed node stays killed; flapping detectors are
+out of scope for the single-failure experiments this layer serves).
+
+Failover of a dead node's primaries is sequence-aware: for each
+affected partition the detector queries every live backup replica for
+its applied sequence (``repl.seq`` RPCs over the same fabric) and
+promotes the replica with the **highest applied prefix**.  Because
+write quorums guarantee every acknowledged write reached at least
+``write_quorum - 1`` backups — each holding a contiguous prefix — the
+max-sequence live replica holds every acknowledged write whenever at
+most ``rf - write_quorum`` replicas are down.  Promotion bumps the
+:class:`~repro.node.router.PartitionMap` version, which invalidates
+router and client owner caches ("re-resolve stale owners"), and the
+cluster re-splits the affected tenants' reservations over the surviving
+replica layout so Libra's per-node demand targets follow the data.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..faults import StorageFault
+from ..node.router import PartitionMap
+from ..sim import Simulator
+from .fabric import NetConfig, NetworkFabric
+from .replication import KvService, Membership
+from .rpc import ACK_BYTES, RpcEndpoint
+
+__all__ = ["HeartbeatService", "FailureDetector", "FailoverRecord"]
+
+#: wire bytes of one heartbeat cast
+HEARTBEAT_BYTES = 32
+
+
+class FailoverRecord:
+    """One completed failover, for reports and tests."""
+
+    __slots__ = ("node", "at", "promotions")
+
+    def __init__(self, node: str, at: float):
+        self.node = node
+        self.at = at
+        #: (tenant, pid, new_primary, applied_seq) per promoted partition
+        self.promotions: List[Tuple[str, int, str, int]] = []
+
+    def __repr__(self) -> str:
+        return (
+            f"<FailoverRecord {self.node} at {self.at:.3f}s "
+            f"{len(self.promotions)} promotions>"
+        )
+
+
+class HeartbeatService:
+    """Periodic liveness casts from one node to the controller."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        endpoint: RpcEndpoint,
+        controller: str,
+        interval: float,
+    ):
+        self.sim = sim
+        self.endpoint = endpoint
+        self.controller = controller
+        self.interval = interval
+        self.beats = 0
+        self._stopped = False
+        sim.process(self._loop(), name=f"heartbeat.{endpoint.name}")
+
+    def _loop(self):
+        while not self._stopped:
+            # The fabric drops casts from a down endpoint, so a killed
+            # node goes silent without the service having to know.
+            self.endpoint.cast(
+                self.controller,
+                "ctrl.heartbeat",
+                {"node": self.endpoint.name, "at": self.sim.now},
+                HEARTBEAT_BYTES,
+            )
+            self.beats += 1
+            yield self.sim.timeout(self.interval)
+
+    def stop(self) -> None:
+        self._stopped = True
+
+
+class FailureDetector:
+    """The controller: heartbeat table, suspicion sweep, failover driver."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fabric: NetworkFabric,
+        partition_map: PartitionMap,
+        membership: Membership,
+        services: Dict[str, KvService],
+        config: Optional[NetConfig] = None,
+        name: str = "ctrl",
+        on_failover: Optional[Callable[[FailoverRecord], None]] = None,
+    ):
+        self.sim = sim
+        self.partition_map = partition_map
+        self.membership = membership
+        self.services = services
+        self.config = config or fabric.config
+        self.on_failover = on_failover
+        self.endpoint = RpcEndpoint(sim, fabric, name, config=self.config)
+        self.endpoint.register_cast("ctrl.heartbeat", self._on_heartbeat)
+        #: node -> sim time of the freshest heartbeat received
+        self.last_seen: Dict[str, float] = {name: 0.0 for name in services}
+        self.failovers: List[FailoverRecord] = []
+        self._stopped = False
+        sim.process(self._sweep(), name=f"detector.{name}")
+
+    def _on_heartbeat(self, payload) -> None:
+        node = payload["node"]
+        if node in self.last_seen:
+            self.last_seen[node] = self.sim.now
+
+    def _sweep(self):
+        interval = self.config.heartbeat_interval
+        while not self._stopped:
+            yield self.sim.timeout(interval)
+            deadline = self.sim.now - self.config.suspicion_timeout
+            for node in sorted(self.last_seen):
+                if self.membership.is_live(node) and self.last_seen[node] < deadline:
+                    self.membership.mark_dead(node)
+                    yield from self._failover(node)
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    # -- failover ----------------------------------------------------------
+
+    def _failover(self, dead: str):
+        """DES sub-generator: promote a backup for every partition the
+        dead node led, choosing the max applied sequence among live
+        replicas."""
+        record = FailoverRecord(dead, self.sim.now)
+        for tenant in self.partition_map.tenants():
+            for partition in self.partition_map.partitions(tenant):
+                if partition.node != dead:
+                    continue
+                candidates = [
+                    name
+                    for name in partition.replicas[1:]
+                    if self.membership.is_live(name)
+                ]
+                if not candidates:
+                    # Every replica is gone; the partition is
+                    # unavailable until an operator intervenes.
+                    continue
+                best, best_seq = None, -1
+                for name in candidates:
+                    seq = yield from self._applied_seq(name, tenant, partition.index)
+                    if seq > best_seq:
+                        best, best_seq = name, seq
+                self.partition_map.promote(tenant, partition.index, best)
+                record.promotions.append((tenant, partition.index, best, best_seq))
+        self.failovers.append(record)
+        if self.on_failover is not None:
+            self.on_failover(record)
+
+    def _applied_seq(self, name: str, tenant: str, pid: int):
+        """Query one replica's applied sequence; unreachable → -1 (the
+        in-process service state is *not* consulted — the controller
+        only knows what the wire tells it)."""
+        try:
+            reply = yield from self.endpoint.call(
+                name, "repl.seq", {"tenant": tenant, "pid": pid}, ACK_BYTES
+            )
+            return reply["seq"]
+        except StorageFault:
+            return -1

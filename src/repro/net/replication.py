@@ -1,0 +1,311 @@
+"""Primary-backup replication over the RPC layer.
+
+Each storage node runs a :class:`KvService`: the RPC face of its
+:class:`~repro.node.server.StorageNode`.  Partition primaries serve
+client ``kv.*`` calls; writes are acknowledged only once the record is
+durable on a **write quorum** of replicas — the primary's own WAL group
+commit (the :meth:`~repro.engine.wal.Wal.subscribe` commit point, which
+is exactly when ``StorageNode.put`` returns) plus ``repl.apply``
+acknowledgements from backups, each of which itself means "my WAL group
+commit for this record landed".
+
+Replication is sequenced per (tenant, partition): the primary stamps
+every shipped record with a monotonically increasing sequence number,
+and backups apply strictly in sequence order, buffering records that
+arrive early (MSG_DELAY and MSG_DUP windows, plus RPC retries, can
+reorder the stream).  An acknowledged ``repl.apply`` for sequence *n*
+therefore guarantees the backup durably holds the entire prefix up to
+*n* — the property failover leans on: promoting the live replica with
+the highest applied sequence can never lose an acknowledged write while
+at most ``rf - write_quorum`` replicas are down.
+
+Duplicates are harmless end to end: re-applied sequence numbers are
+acknowledged without re-running the write, and the KV store itself is
+last-writer-wins per key.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..faults import QuorumError, RetriesExhausted, StorageFault
+from ..node.router import PartitionMap
+from ..node.server import StorageNode
+from ..sim import Simulator
+from .fabric import NetConfig, NetworkFabric
+from .rpc import ACK_BYTES, RpcEndpoint
+
+__all__ = ["Membership", "KvService"]
+
+#: wire bytes for a replication record beyond its payload (seq, ids)
+REPL_HEADER_BYTES = 64
+
+
+class Membership:
+    """The cluster's shared view of which nodes are alive.
+
+    In the simulation every service reads one membership object — the
+    abstraction of a converged gossip/ZooKeeper view.  The failure
+    detector is the only writer; everyone else asks :meth:`is_live`
+    before spending an RPC budget on a dead peer.
+    """
+
+    def __init__(self, names):
+        self._live: Set[str] = set(names)
+        self._dead: List[str] = []
+
+    def is_live(self, name: str) -> bool:
+        return name in self._live
+
+    def mark_dead(self, name: str) -> None:
+        if name in self._live:
+            self._live.discard(name)
+            self._dead.append(name)
+
+    def live(self) -> List[str]:
+        return sorted(self._live)
+
+    def dead(self) -> List[str]:
+        return list(self._dead)
+
+
+class KvService:
+    """One node's RPC face: client KV methods plus the replication feed.
+
+    Methods (all payloads are plain dicts):
+
+    - ``kv.get {tenant, key}`` → ``{size}`` — served from the local
+      engine; any replica can answer (its applied prefix), the primary
+      is authoritative.
+    - ``kv.put {tenant, key, size}`` / ``kv.delete {tenant, key}`` —
+      primary only: local durable write, then quorum replication.
+    - ``repl.apply {tenant, pid, seq, key, size, op}`` → ``{seq}`` —
+      backup applies the record in sequence order through the full
+      engine path (WAL, memtable, FLUSH/COMPACT), so replicated writes
+      consume VOPs on every replica and Libra's per-node demand
+      estimates see the backup load.
+    - ``repl.seq {tenant, pid}`` → ``{seq}`` — the applied sequence,
+      queried by the failure detector when choosing a promotion target.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: StorageNode,
+        fabric: NetworkFabric,
+        partition_map: PartitionMap,
+        membership: Membership,
+        config: Optional[NetConfig] = None,
+    ):
+        self.sim = sim
+        self.node = node
+        self.partition_map = partition_map
+        self.membership = membership
+        self.config = config or fabric.config
+        self.rpc = RpcEndpoint(sim, fabric, node.name, config=self.config)
+        self.rpc.register("kv.get", self._handle_get)
+        self.rpc.register("kv.put", self._handle_put)
+        self.rpc.register("kv.delete", self._handle_delete)
+        self.rpc.register("repl.apply", self._handle_apply)
+        self.rpc.register("repl.seq", self._handle_seq)
+        #: highest sequence shipped per (tenant, pid) while primary
+        self._ship_seq: Dict[Tuple[str, int], int] = {}
+        #: highest sequence applied in order per (tenant, pid) as backup
+        self._applied: Dict[Tuple[str, int], int] = {}
+        #: out-of-order arrivals waiting for their predecessors:
+        #: (tenant, pid) -> {seq: (key, size, op, done_event)}
+        self._pending: Dict[Tuple[str, int], Dict[int, tuple]] = {}
+        self._draining: Set[Tuple[str, int]] = set()
+        #: durable WAL records per tenant on this node (primary writes,
+        #: backup applies, and engine-internal record commits alike) —
+        #: fed by the WAL commit hook, used to report replication write
+        #: amplification (cluster-wide durable records vs acked writes)
+        self.durable_records: Dict[str, int] = {}
+        #: writes this node acked as primary that reached their quorum
+        self.quorum_acks = 0
+        #: writes that failed to assemble a quorum (surfaced to client)
+        self.quorum_failures = 0
+
+    # -- wiring ------------------------------------------------------------
+
+    def watch_tenant(self, tenant: str) -> None:
+        """Subscribe the durable-record counter to the tenant's WAL.
+
+        Registered through :meth:`LsmEngine.subscribe_wal` so the hook
+        survives WAL rotation at memtable flushes.
+        """
+        self.durable_records.setdefault(tenant, 0)
+
+        def on_commit(records, tenant=tenant):
+            self.durable_records[tenant] += len(records)
+
+        self.node.engines[tenant].subscribe_wal(on_commit)
+
+    # -- role helpers ------------------------------------------------------
+
+    def applied_seq(self, tenant: str, pid: int) -> int:
+        """The contiguous applied prefix this node holds for a partition."""
+        slot = (tenant, pid)
+        return max(self._applied.get(slot, 0), self._ship_seq.get(slot, 0))
+
+    def _next_seq(self, slot: Tuple[str, int]) -> int:
+        # A freshly promoted primary continues the stream where its
+        # applied prefix ends; an original primary continues its own.
+        seq = max(self._ship_seq.get(slot, 0), self._applied.get(slot, 0)) + 1
+        self._ship_seq[slot] = seq
+        return seq
+
+    # -- client-facing handlers (run on the partition primary) -------------
+
+    def _handle_get(self, payload):
+        tenant, key = payload["tenant"], payload["key"]
+        size = yield from self.node.get(tenant, key)
+        return {"size": size}, (size or ACK_BYTES)
+
+    def _handle_put(self, payload):
+        tenant, key, size = payload["tenant"], payload["key"], payload["size"]
+        partition = self._own_partition(tenant, key)
+        # Local durable write first: when this returns, the record's WAL
+        # group commit has landed — the commit hook has run and the
+        # record is eligible for acknowledgement and shipping.
+        yield from self.node.put(tenant, key, size)
+        yield from self._replicate(partition, key, size, "put")
+        return {"ok": True}, ACK_BYTES
+
+    def _handle_delete(self, payload):
+        tenant, key = payload["tenant"], payload["key"]
+        partition = self._own_partition(tenant, key)
+        yield from self.node.delete(tenant, key)
+        yield from self._replicate(partition, key, 0, "delete")
+        return {"ok": True}, ACK_BYTES
+
+    def _own_partition(self, tenant: str, key: int):
+        """The key's partition, insisting this node is its primary.
+
+        A write that reaches a demoted or never-primary replica (a
+        client raced a map change) is rejected; the error travels back
+        and the client re-resolves against the bumped map version.
+        """
+        partition = self.partition_map.partition_of(tenant, key)
+        if partition.node != self.node.name:
+            raise KeyError(
+                f"{self.node.name} is not primary for {tenant}/{partition.index} "
+                f"(owner: {partition.node})"
+            )
+        return partition
+
+    def _replicate(self, partition, key: int, size: int, op: str):
+        """Ship the just-committed record; wait for the write quorum.
+
+        The quorum requirement is clamped to the replicas that are
+        actually live, so a failed-over partition (one dead replica)
+        keeps accepting writes at reduced redundancy instead of
+        stalling forever — the availability/durability trade the paper's
+        setting (in-rack primary-backup) takes.
+        """
+        backups = [
+            name for name in partition.replicas[1:] if self.membership.is_live(name)
+        ]
+        need = min(self.config.effective_write_quorum, 1 + len(backups)) - 1
+        if not backups or need <= 0:
+            self.quorum_acks += 1
+            return
+        seq = self._next_seq((partition.tenant, partition.index))
+        payload = {
+            "tenant": partition.tenant,
+            "pid": partition.index,
+            "seq": seq,
+            "key": key,
+            "size": size,
+            "op": op,
+        }
+        nbytes = size + REPL_HEADER_BYTES
+        quorum = self.sim.event()
+        state = {"acks": 0, "done": 0}
+        for name in backups:
+            self.sim.process(
+                self._ship_one(name, payload, nbytes, state, need, len(backups), quorum),
+                name=f"repl.{self.node.name}->{name}",
+            )
+        try:
+            yield quorum
+        except QuorumError:
+            self.quorum_failures += 1
+            raise
+        self.quorum_acks += 1
+
+    def _ship_one(self, target, payload, nbytes, state, need, total, quorum):
+        ok = False
+        try:
+            yield from self.rpc.call(target, "repl.apply", payload, nbytes)
+            ok = True
+        except (RetriesExhausted, StorageFault):
+            ok = False
+        state["acks"] += 1 if ok else 0
+        state["done"] += 1
+        if quorum.triggered:
+            return
+        if state["acks"] >= need:
+            quorum.succeed()
+        elif state["done"] == total:
+            quorum.fail(
+                QuorumError(
+                    f"{self.node.name}: {payload['tenant']}/{payload['pid']} seq "
+                    f"{payload['seq']}: {state['acks']}/{need} replica acks"
+                )
+            )
+
+    # -- replication-feed handlers (run on backups) ------------------------
+
+    def _handle_apply(self, payload):
+        tenant, pid, seq = payload["tenant"], payload["pid"], payload["seq"]
+        slot = (tenant, pid)
+        applied = self._applied.setdefault(slot, 0)
+        if seq <= applied:
+            # Duplicate (MSG_DUP or a retry whose original landed):
+            # already durable, acknowledge without re-applying.
+            return {"seq": applied}, ACK_BYTES
+        done = self.sim.event()
+        self._pending.setdefault(slot, {})[seq] = (
+            payload["key"],
+            payload["size"],
+            payload["op"],
+            done,
+        )
+        if slot not in self._draining:
+            self._draining.add(slot)
+            self.sim.process(
+                self._drain(slot), name=f"repl.apply.{self.node.name}.{tenant}.{pid}"
+            )
+        yield done
+        return {"seq": self._applied[slot]}, ACK_BYTES
+
+    def _drain(self, slot: Tuple[str, int]):
+        """Apply buffered records in sequence order, acking each."""
+        tenant, _pid = slot
+        pending = self._pending.setdefault(slot, {})
+        try:
+            while True:
+                entry = pending.pop(self._applied[slot] + 1, None)
+                if entry is None:
+                    return
+                key, size, op, done = entry
+                try:
+                    yield from self.node.apply_replica(
+                        tenant, key, size or 1024, op=op
+                    )
+                except StorageFault as exc:
+                    # The apply did not land (engine retries exhausted);
+                    # fail the waiter so the primary re-ships, and stop
+                    # draining — order must hold.
+                    done.fail(exc)
+                    return
+                self._applied[slot] += 1
+                done.succeed()
+        finally:
+            self._draining.discard(slot)
+
+    def _handle_seq(self, payload):
+        applied = self.applied_seq(payload["tenant"], payload["pid"])
+        return {"seq": applied}, ACK_BYTES
+        yield  # pragma: no cover - marks this handler as a generator

@@ -1,0 +1,222 @@
+"""Request/response RPC over the fabric.
+
+An :class:`RpcEndpoint` pairs a fabric NIC with a method dispatch
+table.  Calls carry correlation ids; each attempt races the response
+against a per-attempt timeout and retries with exponential backoff —
+the same budget shape :class:`~repro.node.server.StorageNode` uses for
+device faults, because the failure modes rhyme: a dropped message, a
+dead peer, and a congested NIC all look like silence to the caller.
+
+Handlers are DES generators and must be **idempotent**: a duplicated
+request (MSG_DUP window, or a retry whose original attempt actually
+landed) runs the handler again.  Replica applies are sequence-
+idempotent and KV writes are last-writer-wins per key, so the storage
+handlers satisfy this by construction.  Duplicate responses are ignored
+(the correlation id is consumed by the first).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from ..faults import NetworkFault, NodeUnreachable, RetriesExhausted, RpcTimeout
+from ..sim import Simulator
+from .fabric import NetConfig, NetworkFabric
+
+__all__ = ["RpcError", "RpcStats", "RpcMessage", "RpcEndpoint"]
+
+#: bytes a bare acknowledgement response occupies on the wire
+ACK_BYTES = 16
+
+
+class RpcError(NetworkFault):
+    """A handler raised; the exception text travels back to the caller."""
+
+
+@dataclass
+class RpcStats:
+    """Per-endpoint RPC counters."""
+
+    calls: int = 0
+    #: completed request/response exchanges, as seen by this caller
+    round_trips: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    failures: int = 0
+    #: requests this endpoint served as the callee
+    served: int = 0
+    casts: int = 0
+
+
+@dataclass(frozen=True)
+class RpcMessage:
+    """One message on the wire (request, response, or one-way cast)."""
+
+    kind: str  # "req" | "resp" | "cast"
+    src: str
+    corr_id: int
+    method: str = ""
+    payload: Any = None
+    ok: bool = True
+
+
+class RpcEndpoint:
+    """One named party on the fabric: caller and callee in one."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fabric: NetworkFabric,
+        name: str,
+        config: Optional[NetConfig] = None,
+    ):
+        self.sim = sim
+        self.fabric = fabric
+        self.name = name
+        self.config = config or fabric.config
+        self.nic = fabric.attach(name, self._on_message)
+        self.stats = RpcStats()
+        #: method -> generator function(payload) -> (result, reply_bytes)
+        self._methods: Dict[str, Callable] = {}
+        #: one-way method -> plain function(payload) -> None
+        self._cast_methods: Dict[str, Callable[[Any], None]] = {}
+        self._waiting: Dict[int, Any] = {}  # corr_id -> response Event
+        self._next_id = 0
+
+    # -- registration ------------------------------------------------------
+
+    def register(self, method: str, handler: Callable) -> None:
+        """Register a request handler: a DES generator returning
+        ``(result, reply_bytes)``."""
+        self._methods[method] = handler
+
+    def register_cast(self, method: str, handler: Callable[[Any], None]) -> None:
+        """Register a one-way handler (no response, plain callable)."""
+        self._cast_methods[method] = handler
+
+    # -- client side -------------------------------------------------------
+
+    def cast(self, target: str, method: str, payload: Any, nbytes: int) -> None:
+        """Fire-and-forget message (heartbeats, notifications)."""
+        self.stats.casts += 1
+        self.fabric.send(
+            self.name,
+            target,
+            nbytes,
+            RpcMessage(kind="cast", src=self.name, corr_id=0, method=method,
+                       payload=payload),
+        )
+
+    def call(self, target: str, method: str, payload: Any, nbytes: int):
+        """DES generator: request/response with retries and backoff.
+
+        Raises :class:`RetriesExhausted` (cause: the final
+        :class:`~repro.faults.RpcTimeout` or :class:`RpcError`) once the
+        budget is spent.  A target the membership layer already marked
+        dead fails fast with :class:`~repro.faults.NodeUnreachable`
+        wrapped the same way — re-resolution is the caller's job.
+        """
+        cfg = self.config
+        attempt = 0
+        while True:
+            try:
+                result = yield from self.call_once(target, method, payload, nbytes)
+                return result
+            except NetworkFault as exc:
+                attempt += 1
+                self.stats.retries += 1
+                if attempt > cfg.rpc_retries:
+                    self.stats.failures += 1
+                    raise RetriesExhausted(
+                        f"{self.name}: rpc {method} to {target} failed after "
+                        f"{cfg.rpc_retries} retries"
+                    ) from exc
+                yield self.sim.timeout(cfg.rpc_backoff * (2 ** (attempt - 1)))
+
+    def call_once(self, target: str, method: str, payload: Any, nbytes: int):
+        """DES generator: a single attempt against the response budget."""
+        self.stats.calls += 1
+        self._next_id += 1
+        corr_id = self._next_id
+        response = self.sim.event()
+        self._waiting[corr_id] = response
+        self.fabric.send(
+            self.name,
+            target,
+            nbytes,
+            RpcMessage(kind="req", src=self.name, corr_id=corr_id, method=method,
+                       payload=payload),
+        )
+        timer = self.sim.timeout(self.config.rpc_timeout)
+        yield self.sim.any_of([response, timer])
+        if response.triggered:
+            self.stats.round_trips += 1
+            if not response.ok:
+                raise response.value
+            return response.value
+        del self._waiting[corr_id]
+        self.stats.timeouts += 1
+        raise RpcTimeout(
+            f"{self.name}: rpc {method} to {target} got no response in "
+            f"{self.config.rpc_timeout:.3f}s"
+        )
+
+    # -- server side -------------------------------------------------------
+
+    def _on_message(self, message: RpcMessage) -> None:
+        if message.kind == "resp":
+            waiter = self._waiting.pop(message.corr_id, None)
+            if waiter is None:  # duplicate or post-timeout response
+                return
+            if message.ok:
+                waiter.succeed(message.payload)
+            else:
+                waiter.fail(message.payload)
+            return
+        if message.kind == "cast":
+            handler = self._cast_methods.get(message.method)
+            if handler is not None:
+                handler(message.payload)
+            return
+        self.stats.served += 1
+        self.sim.process(
+            self._serve(message), name=f"rpc.{self.name}.{message.method}"
+        )
+
+    def _serve(self, message: RpcMessage):
+        handler = self._methods.get(message.method)
+        if handler is None:
+            self._respond(
+                message, ok=False,
+                payload=RpcError(f"{self.name}: no method {message.method!r}"),
+                nbytes=ACK_BYTES,
+            )
+            return
+        try:
+            result, reply_bytes = yield from handler(message.payload)
+        except Exception as exc:  # noqa: BLE001 - travels back to the caller
+            self._respond(
+                message, ok=False,
+                payload=RpcError(f"{message.method} on {self.name}: {exc}"),
+                nbytes=ACK_BYTES,
+            )
+            return
+        self._respond(message, ok=True, payload=result, nbytes=reply_bytes)
+
+    def _respond(
+        self, request: RpcMessage, ok: bool, payload: Any, nbytes: int
+    ) -> None:
+        self.fabric.send(
+            self.name,
+            request.src,
+            nbytes,
+            RpcMessage(kind="resp", src=self.name, corr_id=request.corr_id,
+                       payload=payload, ok=ok),
+        )
+
+
+# A call site sometimes needs the unreachable-fast-fail without a real
+# message: shared here so the client and replication layers agree on it.
+def unreachable(name: str, target: str) -> NodeUnreachable:
+    return NodeUnreachable(f"{name}: target node {target} is marked down")

@@ -6,6 +6,16 @@ reservation into local per-node reservations proportional to the
 partitions hosted there, and collects the overflow notifications Libra
 emits when a node's reservations exceed its provisionable capacity —
 the signal a real deployment would use to migrate partitions.
+
+With a :class:`~repro.net.NetConfig` the cluster additionally assembles
+the network substrate from :mod:`repro.net`: a shared fabric, one
+:class:`~repro.net.KvService` RPC endpoint per node, primary-backup
+replication at the configured factor, and a heartbeat failure detector
+that promotes backups (and re-splits reservations) when a node dies.
+Replicated writes consume VOPs on every replica, so the reservation
+split weights PUTs by *replica* share — provisioned write capacity is
+paid ``rf`` times, exactly as Libra's demand estimates will observe it.
+Without a ``net`` config the legacy zero-cost direct path is unchanged.
 """
 
 from __future__ import annotations
@@ -18,6 +28,7 @@ from ..sim import Simulator
 from ..ssd import SsdProfile
 from .router import PartitionMap, Router
 from .server import NodeConfig, StorageNode
+from .tenant import RequestStats
 
 __all__ = ["StorageCluster"]
 
@@ -33,6 +44,7 @@ class StorageCluster:
         config: Optional[NodeConfig] = None,
         partitions_per_tenant: int = 8,
         seed: int = 0,
+        net=None,
     ):
         if n_nodes < 1:
             raise ValueError("cluster needs at least one node")
@@ -52,6 +64,53 @@ class StorageCluster:
         self.partition_map = PartitionMap(partitions_per_tenant)
         self.router = Router(self.nodes, self.partition_map)
         self._global_reservations: Dict[str, Reservation] = {}
+        # -- optional network substrate (repro.net) ------------------------
+        self.net = net
+        self.fabric = None
+        self.membership = None
+        self.services = {}
+        self.detector = None
+        self.heartbeats = {}
+        self._clients = 0
+        if net is not None:
+            from ..net import (
+                FailureDetector,
+                HeartbeatService,
+                KvService,
+                Membership,
+                NetworkFabric,
+            )
+
+            self.fabric = NetworkFabric(sim, net)
+            self.membership = Membership(self.nodes)
+            self.services = {
+                name: KvService(
+                    sim, node, self.fabric, self.partition_map, self.membership,
+                    config=net,
+                )
+                for name, node in self.nodes.items()
+            }
+            self.detector = FailureDetector(
+                sim,
+                self.fabric,
+                self.partition_map,
+                self.membership,
+                self.services,
+                config=net,
+                on_failover=self._on_failover,
+            )
+            self.heartbeats = {
+                name: HeartbeatService(
+                    sim, service.rpc, self.detector.endpoint.name,
+                    net.heartbeat_interval,
+                )
+                for name, service in self.services.items()
+            }
+
+    @property
+    def rf(self) -> int:
+        """The cluster's replication factor (1 without a net config)."""
+        return self.net.rf if self.net is not None else 1
 
     # -- tenant management -------------------------------------------------------
 
@@ -61,28 +120,98 @@ class StorageCluster:
         reservation: Reservation,
         engine_config: Optional[EngineConfig] = None,
     ) -> None:
-        """Place a tenant everywhere and split its global reservation.
+        """Place a tenant and split its global reservation over replicas.
 
-        Local reservations are proportional to the number of partitions
-        each node hosts (uniform demand assumption — the DynamoDB-style
-        contract; Pisces would adapt these weights dynamically).
+        Local reservations are proportional to hosted load (uniform
+        demand assumption — the DynamoDB-style contract; Pisces would
+        adapt these weights dynamically): GETs follow the node's
+        *primary* partition share, PUTs its *replica* share, since a
+        replicated write is durably applied — and costed — on every
+        replica.  Nodes hosting no replica of the tenant (possible when
+        the cluster has more nodes than partitions) are skipped
+        entirely: no engine, no principal, no zero reservation to
+        confuse the per-node policy.  :meth:`redistribute_reservations`
+        can still target them explicitly with ``include_unplaced``.
         """
         self._global_reservations[tenant] = reservation
         node_names = list(self.nodes)
-        self.partition_map.place_tenant(tenant, node_names)
-        total = self.partition_map.partitions_per_tenant
+        self.partition_map.place_tenant(tenant, node_names, rf=self.rf)
         for name, node in self.nodes.items():
-            share = self.partition_map.partitions_on(tenant, name) / total
-            node.add_tenant(
-                tenant,
-                Reservation(
-                    gets=reservation.gets * share, puts=reservation.puts * share
-                ),
-                engine_config=engine_config,
-            )
+            local = self._local_reservation(tenant, name)
+            if local is None:
+                continue
+            node.add_tenant(tenant, local, engine_config=engine_config)
+            service = self.services.get(name)
+            if service is not None:
+                service.watch_tenant(tenant)
+
+    def _local_reservation(self, tenant: str, name: str) -> Optional[Reservation]:
+        """The tenant's reservation share on one node; None if unhosted."""
+        total = self.partition_map.partitions_per_tenant
+        primaries = self.partition_map.partitions_on(tenant, name)
+        replicas = self.partition_map.replicas_on(tenant, name)
+        if replicas == 0:
+            return None
+        reservation = self._global_reservations[tenant]
+        return Reservation(
+            gets=reservation.gets * primaries / total,
+            puts=reservation.puts * replicas / total,
+        )
 
     def global_reservation(self, tenant: str) -> Reservation:
         return self._global_reservations[tenant]
+
+    def make_client(self, name: Optional[str] = None):
+        """A new :class:`~repro.net.ClusterClient` on the fabric."""
+        if self.net is None:
+            raise RuntimeError("cluster was built without a net config")
+        from ..net import ClusterClient
+
+        if name is None:
+            name = f"client{self._clients}"
+        self._clients += 1
+        return ClusterClient(
+            self.sim, self.fabric, self.partition_map, self.membership,
+            name=name, config=self.net,
+        )
+
+    # -- failures ----------------------------------------------------------------
+
+    def kill_node(self, name: str) -> None:
+        """Fail a node mid-run: machine loss, silent on the network.
+
+        The failure detector (if a fabric is wired) notices the missing
+        heartbeats, promotes backups for every partition the node led,
+        and re-splits the affected tenants' reservations.
+        """
+        node = self.nodes[name]
+        node.fail()
+        if self.fabric is not None:
+            self.fabric.set_down(name)
+        heartbeat = self.heartbeats.get(name)
+        if heartbeat is not None:
+            heartbeat.stop()
+
+    def _on_failover(self, record) -> None:
+        """Detector callback: follow promotions with reservation moves."""
+        for tenant in {tenant for tenant, _pid, _node, _seq in record.promotions}:
+            self._resplit_tenant(tenant)
+
+    def _resplit_tenant(self, tenant: str) -> None:
+        """Re-split a tenant's global reservation over the current map.
+
+        After a failover the promoted primaries carry the dead node's
+        GET share; dead nodes are skipped (their schedulers are
+        stopped).  A surviving node that hosts replicas but never saw
+        the tenant cannot appear here — promotion only reorders an
+        existing replica chain.
+        """
+        for name, node in self.nodes.items():
+            if node.failed or tenant not in node.tenants:
+                continue
+            local = self._local_reservation(tenant, name)
+            if local is not None:
+                node.set_reservation(tenant, local)
 
     # -- client API ----------------------------------------------------------------
 
@@ -98,7 +227,9 @@ class StorageCluster:
 
     # -- reservation redistribution (the §2.1 higher-level policy) ---------------------
 
-    def redistribute_reservations(self, margin: float = 0.95) -> int:
+    def redistribute_reservations(
+        self, margin: float = 0.95, include_unplaced: bool = False
+    ) -> int:
         """Shift local reservations off overbooked nodes.
 
         For every node whose estimated VOP demand exceeds ``margin`` ×
@@ -111,6 +242,12 @@ class StorageCluster:
         *migration* (moving the data itself) is out of scope here, so a
         receiving node serves the extra reservation only to the extent
         requests reach it.
+
+        ``include_unplaced`` widens the receiver pool to nodes that host
+        no replica of the tenant (the ones :meth:`add_tenant` skipped):
+        the tenant is registered there on first contact, staking out
+        provisioned capacity ahead of the partition migration that would
+        make it servable.
 
         Returns the number of (tenant, node→node) moves performed.
         """
@@ -148,7 +285,9 @@ class StorageCluster:
                 )
                 demand_shift = demands[name].get(tenant, 0.0) * (1.0 - keep)
                 totals[name] -= demand_shift
-                target = self._most_headroom_other(tenant, name, totals, budgets)
+                target = self._most_headroom_other(
+                    tenant, name, totals, budgets, include_unplaced
+                )
                 if target is None:
                     # Nowhere to put it: the reservation stays here (the
                     # local policy will keep scaling it down until a
@@ -171,6 +310,11 @@ class StorageCluster:
                     )
                     totals[name] += demand_shift * returned
                 target_node = self.nodes[target]
+                if tenant not in target_node.tenants:
+                    target_node.add_tenant(tenant, Reservation())
+                    service = self.services.get(target)
+                    if service is not None:
+                        service.watch_tenant(tenant)
                 current = target_node.policy.reservation(tenant)
                 target_node.set_reservation(
                     tenant,
@@ -189,11 +333,19 @@ class StorageCluster:
         exclude: str,
         totals: Dict[str, float],
         budgets: Dict[str, float],
+        include_unplaced: bool = False,
     ):
+        pool = (
+            list(self.nodes)
+            if include_unplaced
+            else self.partition_map.nodes_of(tenant)
+        )
         candidates = [
             name
-            for name in self.partition_map.nodes_of(tenant)
-            if name != exclude and budgets[name] - totals[name] > 0
+            for name in pool
+            if name != exclude
+            and not self.nodes[name].failed
+            and budgets[name] - totals[name] > 0
         ]
         if not candidates:
             return None
@@ -211,19 +363,35 @@ class StorageCluster:
 
     # -- aggregation ------------------------------------------------------------------
 
-    def total_stats(self, tenant: str):
-        """System-wide request stats for a tenant (summed over nodes)."""
-        from .tenant import RequestStats
+    def total_stats(self, tenant: str) -> RequestStats:
+        """System-wide request stats for a tenant (summed over nodes).
 
+        App-level counters (gets/puts/deletes) count each client
+        request once, on its serving primary; backup write load is in
+        ``repl_applies``/``repl_units``.
+        """
         total = RequestStats()
         for node in self.nodes.values():
             stats = node.request_stats.get(tenant)
-            if stats is None:
-                continue
-            for field in vars(total):
-                setattr(total, field, getattr(total, field) + getattr(stats, field))
+            if stats is not None:
+                total.merge(stats)
         return total
 
+    def durable_record_counts(self, tenant: str) -> Dict[str, int]:
+        """Per-node durable WAL record counts for a tenant (net mode).
+
+        Fed by the WAL commit hook; the cluster-wide sum versus acked
+        client writes is the replication write amplification.
+        """
+        return {
+            name: service.durable_records.get(tenant, 0)
+            for name, service in self.services.items()
+        }
+
     def stop(self) -> None:
+        for heartbeat in self.heartbeats.values():
+            heartbeat.stop()
+        if self.detector is not None:
+            self.detector.stop()
         for node in self.nodes.values():
             node.stop()

@@ -2,47 +2,75 @@
 
 Tenant keyspaces are split into fixed partitions mapped onto storage
 nodes.  The router is the client-side component that sends each request
-to the node owning its partition.  This is deliberately the *simple*
-version of the system-wide layer — the paper delegates dynamic
+to the node owning its partition.  The paper delegates dynamic
 placement and weight distribution to Pisces and focuses on the per-node
-mechanism — but it is enough to run multi-node experiments and to
-exercise reservation splitting and overflow signalling.
+mechanism; this layer adds just enough of the system-wide substrate to
+run multi-node experiments: replica sets per partition (primary first),
+a monotonically increasing map version so clients can detect stale
+owner resolutions after a failover, and a per-version resolution cache
+on the router.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Sequence, Tuple
 
-__all__ = ["PartitionMap", "Router"]
+__all__ = ["Partition", "PartitionMap", "Router"]
 
 
 @dataclass(frozen=True)
 class Partition:
-    """One tenant keyspace shard."""
+    """One tenant keyspace shard and its replica set (primary first)."""
 
     tenant: str
     index: int
-    node: str
+    replicas: Tuple[str, ...]
+
+    @property
+    def node(self) -> str:
+        """The partition's current primary."""
+        return self.replicas[0]
 
 
 class PartitionMap:
-    """Static hash partitioning of tenant keyspaces over nodes."""
+    """Static hash partitioning of tenant keyspaces over nodes.
+
+    The map is **versioned**: placement and promotion bump ``version``,
+    which is how routers know to drop cached owner resolutions.  The
+    replica chain for partition ``i`` over nodes ``n_0..n_{k-1}`` is
+    ``n_{i mod k}, n_{(i+1) mod k}, ...`` — round-robin primaries with
+    the following nodes as backups, so replica load spreads evenly.
+    """
 
     def __init__(self, partitions_per_tenant: int = 8):
         if partitions_per_tenant < 1:
             raise ValueError("need at least one partition per tenant")
         self.partitions_per_tenant = partitions_per_tenant
+        self.version = 0
         self._map: Dict[str, List[Partition]] = {}
 
-    def place_tenant(self, tenant: str, nodes: List[str]) -> None:
-        """Assign the tenant's partitions round-robin over ``nodes``."""
+    def place_tenant(self, tenant: str, nodes: Sequence[str], rf: int = 1) -> None:
+        """Assign the tenant's partitions round-robin over ``nodes``.
+
+        ``rf`` replicas per partition (clamped to the node count).
+        Placement is deterministic in ``(nodes, rf)``: re-placing a
+        tenant over the same node list yields the same partitions.
+        """
         if not nodes:
             raise ValueError("no nodes to place on")
+        if rf < 1:
+            raise ValueError(f"replication factor {rf} < 1")
+        width = min(rf, len(nodes))
         self._map[tenant] = [
-            Partition(tenant, i, nodes[i % len(nodes)])
+            Partition(
+                tenant,
+                i,
+                tuple(nodes[(i + r) % len(nodes)] for r in range(width)),
+            )
             for i in range(self.partitions_per_tenant)
         ]
+        self.version += 1
 
     def partition_of(self, tenant: str, key: int) -> Partition:
         partitions = self._map.get(tenant)
@@ -50,31 +78,95 @@ class PartitionMap:
             raise KeyError(f"tenant {tenant!r} not placed")
         return partitions[key % self.partitions_per_tenant]
 
+    def partitions(self, tenant: str) -> List[Partition]:
+        """The tenant's partitions, in index order."""
+        partitions = self._map.get(tenant)
+        if partitions is None:
+            raise KeyError(f"tenant {tenant!r} not placed")
+        return list(partitions)
+
     def node_of(self, tenant: str, key: int) -> str:
+        """The key's current primary."""
         return self.partition_of(tenant, key).node
 
+    def replicas_of(self, tenant: str, key: int) -> Tuple[str, ...]:
+        """The key's replica set, primary first."""
+        return self.partition_of(tenant, key).replicas
+
     def nodes_of(self, tenant: str) -> List[str]:
-        """Distinct nodes hosting this tenant, in placement order."""
+        """Distinct nodes hosting any replica, in placement order."""
         seen: Dict[str, None] = {}
         for p in self._map.get(tenant, []):
-            seen.setdefault(p.node, None)
+            for name in p.replicas:
+                seen.setdefault(name, None)
         return list(seen)
 
+    def tenants(self) -> List[str]:
+        return list(self._map)
+
     def partitions_on(self, tenant: str, node: str) -> int:
-        """How many of the tenant's partitions live on ``node``."""
+        """How many of the tenant's partitions ``node`` is primary for."""
         return sum(1 for p in self._map.get(tenant, []) if p.node == node)
+
+    def replicas_on(self, tenant: str, node: str) -> int:
+        """How many of the tenant's partitions have *any* replica on
+        ``node`` (primary included) — the write-load weight."""
+        return sum(1 for p in self._map.get(tenant, []) if node in p.replicas)
+
+    def promote(self, tenant: str, index: int, new_primary: str) -> None:
+        """Fail a partition over: reorder its replica chain so
+        ``new_primary`` leads, and bump the map version.
+
+        The demoted old primary stays in the chain (it may hold durable
+        data worth reconciling when it returns); re-replication onto a
+        fresh node is out of scope here.
+        """
+        partitions = self._map.get(tenant)
+        if partitions is None:
+            raise KeyError(f"tenant {tenant!r} not placed")
+        partition = partitions[index]
+        if new_primary not in partition.replicas:
+            raise ValueError(
+                f"{new_primary} is not a replica of {tenant}/{index} "
+                f"({partition.replicas})"
+            )
+        reordered = (new_primary,) + tuple(
+            name for name in partition.replicas if name != new_primary
+        )
+        partitions[index] = Partition(tenant, index, reordered)
+        self.version += 1
 
 
 class Router:
-    """Routes (tenant, key) requests to the owning node's API."""
+    """Routes (tenant, key) requests to the owning node's API.
+
+    Owner resolutions are cached per map version: a failover bumps the
+    version, invalidating every cached (tenant, partition) → primary
+    entry, which is the "re-resolve stale owners" contract the cluster
+    client relies on.
+    """
 
     def __init__(self, nodes: Dict[str, "StorageNode"], partition_map: PartitionMap):  # noqa: F821
         self.nodes = nodes
         self.partition_map = partition_map
+        self._version_seen = -1
+        self._primary_cache: Dict[Tuple[str, int], str] = {}
+
+    def resolve(self, tenant: str, key: int) -> str:
+        """The key's primary node name, via the version-aware cache."""
+        pm = self.partition_map
+        if pm.version != self._version_seen:
+            self._primary_cache.clear()
+            self._version_seen = pm.version
+        partition = pm.partition_of(tenant, key)
+        slot = (tenant, partition.index)
+        cached = self._primary_cache.get(slot)
+        if cached is None:
+            cached = self._primary_cache[slot] = partition.node
+        return cached
 
     def node_for(self, tenant: str, key: int):
-        name = self.partition_map.node_of(tenant, key)
-        return self.nodes[name]
+        return self.nodes[self.resolve(tenant, key)]
 
     # Generator pass-throughs so client code routes transparently.
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Union
 
-from ..core.capacity import CapacityModel, reference_capacity, stack_floor
+from ..core.capacity import stack_floor
 from ..core.calibration import reference_calibration
 from ..core.policy import OverflowReport, Reservation, ResourcePolicy
 from ..core.scheduler import LibraScheduler, SchedulerConfig
@@ -123,6 +123,8 @@ class StorageNode:
         #: tenants whose engine is down (crashed, not yet restarted);
         #: requests wait on the tenant's restart event instead of failing
         self._down: Dict[str, Event] = {}
+        #: True once :meth:`fail` killed the whole node
+        self.failed = False
 
     # -- tenant lifecycle ------------------------------------------------------
 
@@ -246,6 +248,47 @@ class StorageNode:
             self.cache.invalidate(tenant, key)
         self._account(tenant, "delete", 1024, RequestClass.DELETE, started)
 
+    # -- replication apply path (see repro.net.replication) --------------------
+
+    def apply_replica(self, tenant: str, key: int, size: int, op: str = "put"):
+        """Apply a replicated record shipped from a partition's primary.
+
+        The backup runs the same durable write path as a client PUT —
+        WAL group commit, memtable, eventual FLUSH/COMPACT — so
+        replication consumes real VOPs here, and the tracker counts the
+        record as PUT work so the tenant's cost profile (and therefore
+        Libra's per-node demand estimate) reflects backup-write load.
+        Only the request *stats* differ: the apply lands in
+        ``repl_applies``/``repl_units``, never in the app-level
+        ``puts``, so system-wide throughput sums stay double-count
+        free.  Sequence idempotence is the caller's job (the
+        replication layer applies records in order, once).
+        """
+        self._descriptor(tenant)
+        started = self.sim.now
+        if op == "delete":
+            yield from self._execute(
+                tenant,
+                lambda: self.engines[tenant].delete(
+                    key, tag=IoTag(tenant, RequestClass.DELETE)
+                ),
+            )
+        else:
+            yield from self._execute(
+                tenant,
+                lambda: self.engines[tenant].put(
+                    key, size, tag=IoTag(tenant, RequestClass.PUT)
+                ),
+            )
+        if self.cache is not None:
+            if op == "delete":
+                self.cache.invalidate(tenant, key)
+            else:
+                self.cache.put(tenant, key, size)
+        self.request_stats[tenant].note("repl", size if op != "delete" else 1024)
+        self.latencies[tenant].record("repl", self.sim.now - started)
+        self.tracker.note_request(tenant, RequestClass.PUT, size)
+
     # -- failure handling ------------------------------------------------------
 
     def _execute(self, tenant: str, attempt_factory):
@@ -358,6 +401,29 @@ class StorageNode:
             self.tracker.note_request(tenant, request, size)
 
     # -- lifecycle ------------------------------------------------------------------
+
+    def fail(self) -> None:
+        """Kill the whole node, instantly (a machine loss, not a restart).
+
+        Every tenant engine crashes (volatile state gone, WAL tails
+        torn, unacknowledged writers failed with CrashError), the
+        periodic loops stop, and — unlike a tenant crash — no restart
+        event is armed: requests that reach a failed node park forever,
+        which is what an RPC client experiences as a timeout.  The
+        durable state (SSTables, committed WAL records) survives for a
+        hypothetical later reconciliation; serving the node's partitions
+        is the failover layer's job.
+        """
+        if self.failed:
+            return
+        self.failed = True
+        for tenant in self.tenants:
+            if tenant not in self._down:
+                self._down[tenant] = self.sim.event()
+            self.request_stats[tenant].crashes += 1
+            self.engines[tenant].crash()
+        self.policy.stop()
+        self.scheduler.stop()
 
     def stop(self) -> None:
         """Stop the node's periodic loops (policy + scheduler ticker)."""

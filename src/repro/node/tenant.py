@@ -35,6 +35,13 @@ class LatencyRecorder:
         self._count[kind] = self._count.get(kind, 0) + 1
         self._sum[kind] = self._sum.get(kind, 0.0) + latency
 
+    def samples(self, kind: str) -> list:
+        """The retained (recent) samples for a kind, oldest first."""
+        return list(self._samples.get(kind, ()))
+
+    def kinds(self) -> list:
+        return sorted(self._samples)
+
     def count(self, kind: str) -> int:
         return self._count.get(kind, 0)
 
@@ -73,6 +80,12 @@ class RequestStats:
     get_units: float = 0.0
     put_units: float = 0.0
     cache_hits: int = 0
+    # Replication (see repro.net): records this node applied as a
+    # backup replica.  Kept apart from gets/puts so summing app-level
+    # throughput over nodes never double-counts a replicated write,
+    # while the backup's VOP load stays visible in its own accounting.
+    repl_applies: int = 0
+    repl_units: float = 0.0
     # Failure handling (see repro.faults): transparent retry attempts,
     # per-attempt timeout expiries, permanent failures surfaced to the
     # application, engine crashes, and requests that waited out a crash.
@@ -81,6 +94,15 @@ class RequestStats:
     errors: int = 0
     crashes: int = 0
     crash_waits: int = 0
+
+    #: every additive counter, spelled out: merge/snapshot/delta iterate
+    #: this tuple — never ``vars()`` — so a future non-numeric field can
+    #: break loudly here instead of silently corrupting an aggregate
+    FIELDS = (
+        "gets", "puts", "deletes", "get_units", "put_units", "cache_hits",
+        "repl_applies", "repl_units",
+        "retries", "timeouts", "errors", "crashes", "crash_waits",
+    )
 
     def note(self, kind: str, size: int) -> None:
         units = max(size / NORMALIZED_REQUEST_BYTES, 1.0)
@@ -92,13 +114,29 @@ class RequestStats:
             self.put_units += units
         elif kind == "delete":
             self.deletes += 1
+        elif kind == "repl":
+            self.repl_applies += 1
+            self.repl_units += units
         else:  # pragma: no cover - defensive
             raise ValueError(f"unknown request kind {kind!r}")
 
+    def merge(self, other: "RequestStats") -> "RequestStats":
+        """Add another stats object's counters into this one (in place).
+
+        Returns ``self`` so aggregation reads as a fold:
+        ``total = reduce(RequestStats.merge, stats, RequestStats())``.
+        """
+        for name in self.FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        return self
+
     def snapshot(self) -> "RequestStats":
-        return RequestStats(**vars(self))
+        return RequestStats(**{name: getattr(self, name) for name in self.FIELDS})
 
     def delta(self, earlier: "RequestStats") -> "RequestStats":
         return RequestStats(
-            **{k: getattr(self, k) - getattr(earlier, k) for k in vars(self)}
+            **{
+                name: getattr(self, name) - getattr(earlier, name)
+                for name in self.FIELDS
+            }
         )

@@ -12,7 +12,7 @@ All primitives are FIFO-fair and deterministic.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional
+from typing import Deque
 
 from .core import Event, Simulator, SimulationError
 

@@ -37,7 +37,7 @@ stages it reserved — a failing op still consumes device time).
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Optional
 
 from ..faults import CorruptionError, FaultInjector, FaultPlan
 from ..sim import Event, Semaphore, Simulator

@@ -19,7 +19,7 @@ from __future__ import annotations
 import random
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Iterable, List, Optional, Sequence, Tuple
+from typing import Deque, List, Optional, Tuple
 
 import numpy as np
 

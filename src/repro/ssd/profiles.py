@@ -18,7 +18,7 @@ write sizes, per Fig 7).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict
 
 __all__ = ["SsdProfile", "PROFILES", "get_profile", "intel320", "samsung840", "oczvector"]

@@ -6,7 +6,7 @@ warm-up and measurement windows.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 __all__ = ["SsdStats"]

@@ -11,7 +11,7 @@ scheduler-charged VOP consumption over a warm measurement window.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Union
 
 from ..core.calibration import reference_calibration

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass
-from typing import Callable, Iterable, Iterator, List, Optional, TextIO
+from typing import Callable, Iterator, List, Optional, TextIO
 
 from ..sim import Simulator
 

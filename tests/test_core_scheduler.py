@@ -5,12 +5,7 @@ import random
 import pytest
 
 from repro.core import (
-    IoTag,
-    LibraScheduler,
-    OpKind,
-    RequestClass,
-    SchedulerConfig,
-    make_cost_model,
+    IoTag, LibraScheduler, OpKind, RequestClass, make_cost_model,
     reference_calibration,
 )
 from repro.sim import Simulator
@@ -99,7 +94,8 @@ def test_io_observer_sees_every_chunk():
     sim, dev, _s, model = make_env()
     seen = []
     scheduler = LibraScheduler(
-        sim, dev, model, io_observer=lambda tag, kind, size, cost: seen.append((tag.tenant, kind, size))
+        sim, dev, model,
+        io_observer=lambda tag, kind, size, cost: seen.append((tag.tenant, kind, size)),
     )
     scheduler.register_tenant("a", 50_000.0)
 
@@ -108,7 +104,10 @@ def test_io_observer_sees_every_chunk():
 
     sim.process(proc())
     sim.run(until=1.0)
-    assert seen == [("a", OpKind.WRITE, 128 * KIB), ("a", OpKind.WRITE, 128 * KIB)]
+    assert seen == [
+        ("a", OpKind.WRITE, 128 * KIB),
+        ("a", OpKind.WRITE, 128 * KIB),
+    ]
 
 
 def run_two_tenant_contest(alloc_a, alloc_b, duration=1.0, size=4 * KIB, seed=5):

@@ -1,6 +1,5 @@
 """Unit tests for the VOP cost models and calibration handling."""
 
-import math
 
 import pytest
 
@@ -15,7 +14,6 @@ from repro.core import (
     make_cost_model,
     reference_calibration,
 )
-from repro.core.calibration import CalibrationResult
 
 KIB = 1024
 

@@ -132,3 +132,94 @@ def test_different_seeds_diverge():
     # Sanity check that the fingerprint actually captures the chaos
     # (otherwise the identity test above proves nothing).
     assert _chaotic_run(seed=5) != _chaotic_run(seed=6)
+
+
+# ---------------------------------------------------------------------------
+# Replicated cluster: network faults + node kill + failover
+# ---------------------------------------------------------------------------
+
+
+def _replicated_run(seed=9):
+    from repro.net import NetConfig
+    from repro.node import StorageCluster
+
+    sim = Simulator()
+    plan = (
+        FaultPlan(seed=seed)
+        .add(FaultWindow(FaultKind.MSG_DROP, 0.3, 1.2, probability=0.05))
+        .add(FaultWindow(FaultKind.MSG_DUP, 0.3, 1.2, probability=0.05))
+        .add(FaultWindow(FaultKind.MSG_DELAY, 0.3, 1.2, extra_latency=0.003))
+    )
+    net = NetConfig(
+        rf=2,
+        heartbeat_interval=0.05,
+        suspicion_timeout=0.25,
+        rpc_timeout=0.05,
+        rpc_backoff=0.002,
+        fault_plan=plan,
+    )
+    cluster = StorageCluster(
+        sim,
+        n_nodes=3,
+        profile=TINY,
+        config=NodeConfig(capacity_vops=20_000.0),
+        partitions_per_tenant=4,
+        seed=seed,
+        net=net,
+    )
+    cluster.add_tenant("t1", Reservation(gets=2000, puts=2000))
+    client = cluster.make_client()
+    rng = random.Random(f"repl-det:{seed}")
+    log = []
+
+    def worker(widx):
+        while sim.now < 2.5:
+            key = rng.randrange(120)
+            try:
+                if rng.random() < 0.4:
+                    size = yield from client.get("t1", key)
+                    log.append(("get", round(sim.now, 9), key, size))
+                else:
+                    size = 1 * KIB + (key % 4) * KIB
+                    yield from client.put("t1", key, size)
+                    log.append(("put", round(sim.now, 9), key, size))
+            except StorageFault as exc:
+                log.append(("err", round(sim.now, 9), key, type(exc).__name__))
+            yield sim.timeout(0.002)
+
+    def killer():
+        yield sim.timeout(1.0)
+        cluster.kill_node("node0")
+
+    for widx in range(3):
+        sim.process(worker(widx))
+    sim.process(killer())
+    sim.run(until=4.0)
+    cluster.stop()
+    promotions = [
+        rec.promotions for rec in cluster.detector.failovers
+    ]
+    return repr(
+        (
+            log,
+            promotions,
+            cluster.partition_map.version,
+            sorted(vars(cluster.total_stats("t1")).items()),
+            sorted(cluster.fabric.stats_table().items()),
+            sorted(
+                (name, vars(service.rpc.stats), service.quorum_acks)
+                for name, service in cluster.services.items()
+            ),
+            cluster.fabric.injector.dropped_messages,
+            cluster.fabric.injector.duplicated_messages,
+            cluster.fabric.injector.delayed_messages,
+        )
+    )
+
+
+def test_replicated_cluster_runs_are_byte_identical():
+    assert _replicated_run(seed=9) == _replicated_run(seed=9)
+
+
+def test_replicated_cluster_seeds_diverge():
+    assert _replicated_run(seed=9) != _replicated_run(seed=10)

@@ -14,16 +14,8 @@ from repro.core import (
     reference_calibration,
 )
 from repro.engine import (
-    TOMBSTONE,
-    EngineConfig,
-    LsmEngine,
-    Memtable,
-    TableBuilder,
-    Version,
-    Wal,
-    merge_entries,
-    pick_compaction,
-    split_outputs,
+    TOMBSTONE, EngineConfig, LsmEngine, Memtable, TableBuilder, Version,
+    merge_entries, pick_compaction, split_outputs,
 )
 from repro.sim import Simulator
 from repro.ssd import RawBackend, SimFilesystem, SsdDevice, SsdProfile

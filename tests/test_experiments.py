@@ -13,7 +13,9 @@ from repro.experiments.fig4 import Fig4Result
 
 
 def test_figure_registry_complete():
-    assert FIGURES == tuple(f"fig{i}" for i in range(2, 13)) + ("chaosfig",)
+    assert FIGURES == tuple(f"fig{i}" for i in range(2, 13)) + (
+        "chaosfig", "clusterfig",
+    )
 
 
 def test_run_figure_unknown_rejected():

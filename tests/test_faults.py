@@ -21,16 +21,8 @@ from repro.core import (
 )
 from repro.engine import EngineConfig, LsmEngine, Wal
 from repro.faults import (
-    CorruptionError,
-    CrashError,
-    DeviceReadError,
-    DeviceWriteError,
-    FaultInjector,
-    FaultKind,
-    FaultPlan,
-    FaultWindow,
-    RequestTimeout,
-    RetriesExhausted,
+    CorruptionError, CrashError, DeviceReadError, DeviceWriteError,
+    FaultInjector, FaultKind, FaultPlan, FaultWindow, RetriesExhausted,
 )
 from repro.node import NodeConfig, StorageNode
 from repro.sim import Simulator

@@ -3,7 +3,6 @@ working together under multi-tenant load."""
 
 import random
 
-import pytest
 
 from repro.core import RequestClass, Reservation
 from repro.engine import EngineConfig

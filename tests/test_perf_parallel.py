@@ -16,7 +16,7 @@ from repro.core.tags import IoTag, RequestClass
 from repro.core.vop import make_cost_model
 from repro.experiments import fig4
 from repro.experiments.common import KIB, ExperimentMode, derive_seed, parallel_map
-from repro.sim import Event, Simulator
+from repro.sim import Simulator
 from repro.ssd import SsdDevice, get_profile
 
 #: seconds-scale fig4 grid — same code path as quick/full, less work

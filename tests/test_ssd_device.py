@@ -7,10 +7,9 @@ GC activity under sustained random overwrite, and NCQ admission.
 
 import random
 
-import pytest
 
 from repro.sim import Simulator
-from repro.ssd import SsdDevice, SsdProfile, intel320
+from repro.ssd import SsdDevice, SsdProfile
 
 KIB = 1024
 MIB = 1024 * 1024
