@@ -3,12 +3,14 @@
 Runs the kernel events/sec microbench (live kernel vs the frozen
 :mod:`refkernel` baseline), the DDRR scheduler throughput bench, a
 fig4 interference grid serial vs ``--jobs N`` — checking that the two
-renders are byte-identical — and a replicated-cluster workload through
+renders are byte-identical — a replicated-cluster workload through
 the :mod:`repro.net` fabric (RPC round trips per second at RF=1 vs
-RF=2, plus the replication write-amplification overhead), then writes
-the numbers to ``BENCH_sim.json``.  That file is the tracked perf
-trajectory: each PR that touches the hot path regenerates it so
-regressions show up as a diff.
+RF=2, plus the replication write-amplification overhead), and the
+tracing-overhead gate (a disabled :class:`repro.obs.Tracer` must cost
+the scheduler hot loop <= 2%, and a sample ``trace.json`` is exported
+for CI artifacts), then writes the numbers to ``BENCH_sim.json``.
+That file is the tracked perf trajectory: each PR that touches the hot
+path regenerates it so regressions show up as a diff.
 
 Usage (from the repo root)::
 
@@ -190,6 +192,62 @@ def _bench_cluster(smoke: bool, profile: bool) -> Dict[str, Any]:
     }
 
 
+def _bench_obs(smoke: bool, trace_path: str) -> Dict[str, Any]:
+    """Tracing overhead on the scheduler hot loop, plus a sample trace.
+
+    Interleaves best-of-N runs with no tracer against runs with a
+    *disabled* tracer installed (the production default: every
+    instrumentation point pays one attribute load and a None/flag
+    test).  The overhead ratio gates the harness exit code at 2%.  A
+    short traced run then exports ``trace_path`` so CI can publish a
+    loadable Chrome trace artifact.
+    """
+    from repro.obs import Tracer
+
+    sim_seconds = 0.1 if smoke else 0.3
+    repeats = 3 if smoke else 5
+
+    def measure(n: int):
+        base_best = 0.0
+        disabled_best = 0.0
+        for _ in range(n):
+            base = scheduler_ops_per_sec(sim_seconds=sim_seconds)
+            disabled = scheduler_ops_per_sec(
+                sim_seconds=sim_seconds, tracer=Tracer(enabled=False)
+            )
+            base_best = max(base_best, base["ops_per_sec"])
+            disabled_best = max(disabled_best, disabled["ops_per_sec"])
+        ratio = base_best / disabled_best - 1.0 if disabled_best > 0 else 0.0
+        return ratio, base_best, disabled_best
+
+    # Wall-clock jitter on shared CI runners dwarfs a 2% signal, so the
+    # gate escalates instead of trusting one estimate: a real regression
+    # reproduces under every re-measurement, noise does not survive the
+    # min of independent best-of-N estimates.
+    overhead, base_best, disabled_best = measure(repeats)
+    for _ in range(2):
+        if overhead <= 0.02:
+            break
+        retry, retry_base, retry_disabled = measure(2 * repeats)
+        if retry < overhead:
+            overhead, base_best, disabled_best = retry, retry_base, retry_disabled
+
+    tracer = Tracer()
+    traced = scheduler_ops_per_sec(sim_seconds=sim_seconds, tracer=tracer)
+    tracer.export_chrome(trace_path)
+    return {
+        "sim_seconds": sim_seconds,
+        "repeats": repeats,
+        "ops_per_sec_no_tracer": round(base_best, 1),
+        "ops_per_sec_tracer_disabled": round(disabled_best, 1),
+        "disabled_overhead": round(overhead, 4),
+        "disabled_overhead_ok": overhead <= 0.02,
+        "traced_spans": tracer.span_count,
+        "traced_ops": traced["ops"],
+        "trace_path": os.path.basename(trace_path),
+    }
+
+
 def run_harness(
     jobs: int = 4, smoke: bool = False, profile: bool = False
 ) -> Dict[str, Any]:
@@ -240,6 +298,15 @@ def run_harness(
         file=sys.stderr,
     )
 
+    print("[perf] tracing overhead (disabled tracer vs none)...", file=sys.stderr)
+    obs = _bench_obs(smoke=smoke, trace_path=os.path.join(_REPO, "trace.json"))
+    print(
+        f"[perf]   disabled-tracer overhead "
+        f"{100.0 * obs['disabled_overhead']:+.2f}% "
+        f"(gate 2%), sample trace: {obs['traced_spans']} spans",
+        file=sys.stderr,
+    )
+
     return {
         "schema": 1,
         "smoke": smoke,
@@ -252,6 +319,7 @@ def run_harness(
         "scheduler": scheduler,
         "grids": {"fig4": grid},
         "cluster": cluster,
+        "obs": obs,
     }
 
 
@@ -287,6 +355,14 @@ def main(argv=None) -> int:
 
     if not results["grids"]["fig4"]["byte_identical"]:
         print("[perf] FAIL: parallel grid diverged from serial", file=sys.stderr)
+        return 1
+    if not results["obs"]["disabled_overhead_ok"]:
+        print(
+            f"[perf] FAIL: disabled-tracer overhead "
+            f"{100.0 * results['obs']['disabled_overhead']:.2f}% exceeds the "
+            f"2% budget",
+            file=sys.stderr,
+        )
         return 1
     return 0
 

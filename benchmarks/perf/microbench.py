@@ -113,9 +113,15 @@ def kernel_speedup(scale: int = 1, repeats: int = 3) -> Dict[str, Any]:
     }
 
 
-def scheduler_ops_per_sec(sim_seconds: float = 0.5, tenants: int = 4) -> Dict[str, Any]:
+def scheduler_ops_per_sec(
+    sim_seconds: float = 0.5, tenants: int = 4, tracer=None
+) -> Dict[str, Any]:
     """End-to-end DDRR hot loop: backlogged 4K chunks through the
-    scheduler and device, reported as completed chunks per wall second."""
+    scheduler and device, reported as completed chunks per wall second.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`, typically with
+    ``enabled=False``) is installed on the scheduler and device — the
+    knob behind the tracing-overhead gate in the perf harness."""
     from repro.core.calibration import reference_calibration
     from repro.core.scheduler import LibraScheduler
     from repro.core.tags import IoTag, RequestClass
@@ -127,9 +133,9 @@ def scheduler_ops_per_sec(sim_seconds: float = 0.5, tenants: int = 4) -> Dict[st
 
     profile = get_profile("intel320")
     sim = Simulator()
-    device = SsdDevice(sim, profile, seed=3)
+    device = SsdDevice(sim, profile, seed=3, tracer=tracer)
     cost_model = make_cost_model("exact", reference_calibration(profile.name))
-    scheduler = LibraScheduler(sim, device, cost_model)
+    scheduler = LibraScheduler(sim, device, cost_model, tracer=tracer)
     share = cost_model.max_iop / tenants
     rng = random.Random(3)
     page = profile.page_size

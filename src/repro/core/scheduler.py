@@ -91,15 +91,18 @@ class _Chunk:
     ``cost`` is the VOP price captured at dispatch time; completion
     charges and reports exactly that value, so the cost model is
     consulted once per chunk and dispatch/completion can never skew.
+    ``t_mark`` is the chunk's current span start for tracing: queue
+    entry time until dispatch, then service start until completion.
     """
 
-    __slots__ = ("task", "offset", "size", "cost")
+    __slots__ = ("task", "offset", "size", "cost", "t_mark")
 
-    def __init__(self, task: "_Task", offset: int, size: int):
+    def __init__(self, task: "_Task", offset: int, size: int, t_mark: float):
         self.task = task
         self.offset = offset
         self.size = size
         self.cost = 0.0
+        self.t_mark = t_mark
 
 
 class _Task:
@@ -148,6 +151,7 @@ class LibraScheduler:
         cost_model: CostModel,
         config: Optional[SchedulerConfig] = None,
         io_observer: Optional[Callable[[IoTag, OpKind, int, float], None]] = None,
+        tracer=None,
     ):
         self.sim = sim
         self.device = device
@@ -155,6 +159,14 @@ class LibraScheduler:
         self.config = config or SchedulerConfig()
         #: called as (tag, kind, size, vop_cost) on every completed chunk
         self.io_observer = io_observer
+        #: called as (tag, kind, size, vop_cost) when a chunk is charged
+        #: at dispatch (the audit's independent view of the deficit pay)
+        self.dispatch_observer: Optional[Callable[[IoTag, OpKind, int, float], None]] = None
+        #: called as (tag, kind, size, vop_cost) when a chunk's device op
+        #: faults (the cost stays charged; see ``_complete``)
+        self.fail_observer: Optional[Callable[[IoTag, OpKind, int, float], None]] = None
+        #: optional repro.obs Tracer recording queue-wait/service spans
+        self.tracer = tracer
         self._tenants: Dict[str, _TenantState] = {}
         self._order: List[_TenantState] = []
         self._cursor = 0
@@ -264,10 +276,11 @@ class LibraScheduler:
         done = self.sim.event()
         task = _Task(tag, kind, offset, size, done)
         chunk_size = self.config.chunk_size
+        now = self.sim.now
         pos = 0
         while pos < size:
             length = min(chunk_size, size - pos)
-            state.queue.append(_Chunk(task, offset + pos, length))
+            state.queue.append(_Chunk(task, offset + pos, length, now))
             task.pending_chunks += 1
             self._queued += 1
             pos += length
@@ -365,10 +378,22 @@ class LibraScheduler:
         state.inflight += 1
         self._inflight += 1
         self._queued -= 1
+        if self.dispatch_observer is not None:
+            self.dispatch_observer(task.tag, task.kind, chunk.size, cost)
+        ctx = None
+        tr = self.tracer
+        if tr is not None and tr.enabled:
+            now = self.sim.now
+            tr.span(
+                "queue", "sched", "libra", task.tag.tenant,
+                chunk.t_mark, now, trace=task.tag.trace,
+            )
+            chunk.t_mark = now  # service span starts here
+            ctx = (task.tag.trace, task.tag.tenant)
         if task.kind == OpKind.READ:
-            completion = self.device.read(chunk.offset, chunk.size)
+            completion = self.device.read(chunk.offset, chunk.size, ctx=ctx)
         else:
-            completion = self.device.write(chunk.offset, chunk.size)
+            completion = self.device.write(chunk.offset, chunk.size, ctx=ctx)
         completion.callbacks.append(partial(self._complete, state, chunk))
 
     def _complete(self, state: _TenantState, chunk: _Chunk, event: Event) -> None:
@@ -376,11 +401,25 @@ class LibraScheduler:
         state.inflight -= 1
         task = chunk.task
         usage = state.usage
+        tr = self.tracer
+        if tr is not None and tr.enabled:
+            tr.span(
+                "service", "sched", "libra", task.tag.tenant,
+                chunk.t_mark, self.sim.now, trace=task.tag.trace,
+                args={
+                    "kind": task.kind.value,
+                    "bytes": chunk.size,
+                    "vops": chunk.cost,
+                    "ok": event.ok,
+                },
+            )
         if not event.ok:
             # Device fault: the chunk's VOP cost stays charged (the op
             # consumed device time), and the whole task fails on its
             # first failing chunk so the submitter can retry.
             usage.failed_ops += 1
+            if self.fail_observer is not None:
+                self.fail_observer(task.tag, task.kind, chunk.size, chunk.cost)
             task.pending_chunks -= 1
             if not task.done.triggered:
                 task.done.fail(event.value)

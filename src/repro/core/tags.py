@@ -47,15 +47,28 @@ BEST_EFFORT = "__best_effort__"
 
 @dataclass(frozen=True)
 class IoTag:
-    """The (tenant, app-request, internal-op) triple on each IO task."""
+    """The (tenant, app-request, internal-op) triple on each IO task.
+
+    ``trace`` is an optional per-request trace id (see
+    :mod:`repro.obs.trace`) riding along purely for observability: no
+    simulation code branches on it, so tagged and untagged runs follow
+    identical trajectories.
+    """
 
     tenant: str
     request: RequestClass = RequestClass.RAW
     internal: Optional[InternalOp] = None
+    trace: Optional[int] = None
 
     def with_internal(self, internal: InternalOp) -> "IoTag":
         """Derive the tag used by a background op on this request's behalf."""
-        return IoTag(self.tenant, self.request, internal)
+        return IoTag(self.tenant, self.request, internal, self.trace)
+
+    def with_trace(self, trace: Optional[int]) -> "IoTag":
+        """The same tag carrying a per-request trace id."""
+        if trace is None:
+            return self
+        return IoTag(self.tenant, self.request, self.internal, trace)
 
     @property
     def is_internal(self) -> bool:

@@ -127,17 +127,20 @@ class LsmEngine:
         tenant: str,
         config: Optional[EngineConfig] = None,
         tracker: Optional[ResourceTracker] = None,
+        tracer=None,
     ):
         self.sim = sim
         self.fs = fs
         self.tenant = tenant
         self.config = config or EngineConfig()
         self.tracker = tracker
+        #: optional repro.obs Tracer for WAL/SSTable/flush/compact spans
+        self.tracer = tracer
         self.stats = EngineStats()
         self.version = Version(max_levels=self.config.max_levels)
         self.memtable = Memtable(self.config.memtable_bytes)
         self.immutable: Optional[Memtable] = None
-        self._wal = Wal(sim, fs, f"{tenant}-wal-0")
+        self._wal = Wal(sim, fs, f"{tenant}-wal-0", tracer=tracer)
         self._wal_seq = 0
         #: engine-lifetime WAL commit listeners (re-attached on rotation)
         self._wal_listeners: List = []
@@ -181,7 +184,8 @@ class LsmEngine:
                     self.stats.index_cache_hits += 1
                 else:
                     yield from self._read_verified(
-                        lambda: table.read_index_block(key, tag)
+                        lambda: table.read_index_block(key, tag),
+                        span="sst.index", tag=tag,
                     )
                 idx = table.find(key)
                 if idx is not None:
@@ -189,7 +193,8 @@ class LsmEngine:
                     if size == TOMBSTONE:
                         return self._hit_or_miss(TOMBSTONE)
                     yield from self._read_verified(
-                        lambda: table.read_value(idx, tag)
+                        lambda: table.read_value(idx, tag),
+                        span="sst.value", tag=tag,
                     )
                     return self._hit_or_miss(size)
         finally:
@@ -235,7 +240,8 @@ class LsmEngine:
         try:
             for table in tables:
                 yield from self._read_verified(
-                    lambda: table.read_range(lo, hi, tag)
+                    lambda: table.read_range(lo, hi, tag),
+                    span="sst.range", tag=tag,
                 )
                 for idx in table.range_indices(lo, hi):
                     merged[table.keys[idx]] = table.sizes[idx]
@@ -260,7 +266,7 @@ class LsmEngine:
 
     # -- read verification ---------------------------------------------------------
 
-    def _read_verified(self, make_read):
+    def _read_verified(self, make_read, span=None, tag=None):
         """DES sub-generator: a block read with checksum verification.
 
         Every SSTable block carries a checksum (as LevelDB's per-block
@@ -268,8 +274,11 @@ class LsmEngine:
         :class:`CorruptionError`, which a bounded number of re-reads can
         clear when the corruption was transient (ECC/transport).  The
         factory returns a fresh read event per attempt, or None when
-        the source holds nothing to read.
+        the source holds nothing to read.  With a tracer installed,
+        ``span`` names the recorded interval (retries included).
         """
+        tr = self.tracer
+        t0 = self.sim.now if tr is not None and tr.enabled and span is not None else 0.0
         attempts = 0
         while True:
             event = make_read()
@@ -277,6 +286,13 @@ class LsmEngine:
                 return
             try:
                 yield event
+                if tr is not None and tr.enabled and span is not None:
+                    tr.span(
+                        span, "engine", f"engine.{self.tenant}",
+                        tag.request.value if tag is not None else "read",
+                        t0, self.sim.now,
+                        trace=tag.trace if tag is not None else None,
+                    )
                 return
             except CorruptionError:
                 self.stats.checksum_failures += 1
@@ -334,26 +350,33 @@ class LsmEngine:
         self._sequence += 1
         self.memtable.put(key, size, self._sequence)
         if self.memtable.full and self.immutable is None:
-            self._rotate(tag.request)
+            self._rotate(tag)
 
-    def _rotate(self, trigger_request: RequestClass) -> None:
-        """Swap in a fresh memtable+WAL and start the background FLUSH."""
+    def _rotate(self, trigger_tag: IoTag) -> None:
+        """Swap in a fresh memtable+WAL and start the background FLUSH.
+
+        ``trigger_tag`` is the request whose write filled the memtable;
+        the flush it spawns is traced as that request's child span.
+        """
         self.immutable = self.memtable
         immutable_wal = self._wal
         self.memtable = Memtable(self.config.memtable_bytes)
         self._wal_seq += 1
-        self._wal = Wal(self.sim, self.fs, f"{self.tenant}-wal-{self._wal_seq}")
+        self._wal = Wal(
+            self.sim, self.fs, f"{self.tenant}-wal-{self._wal_seq}", tracer=self.tracer
+        )
         for listener in self._wal_listeners:
             self._wal.subscribe(listener)
         if self.tracker is not None:
             self.tracker.note_trigger(self.tenant, RequestClass.PUT, InternalOp.FLUSH)
         self.sim.process(
-            self._flush(self.immutable, immutable_wal),
+            self._flush(self.immutable, immutable_wal, trigger_trace=trigger_tag.trace),
             name=f"{self.tenant}.flush",
         )
 
-    def _flush(self, memtable: Memtable, old_wal: Wal):
-        tag = IoTag(self.tenant, RequestClass.PUT, InternalOp.FLUSH)
+    def _flush(self, memtable: Memtable, old_wal: Wal, trigger_trace=None):
+        tag = IoTag(self.tenant, RequestClass.PUT, InternalOp.FLUSH, trigger_trace)
+        t0 = self.sim.now
         delay = self.config.fault_retry_backoff
         while True:
             # A fresh entries generator per attempt: a faulted build
@@ -382,6 +405,13 @@ class LsmEngine:
         self.stats.flushes += 1
         if self.tracker is not None:
             self.tracker.note_internal_op(self.tenant, InternalOp.FLUSH)
+        tr = self.tracer
+        if tr is not None and tr.enabled:
+            tr.span(
+                "flush", "engine", f"engine.{self.tenant}", "flush",
+                t0, self.sim.now, trace=trigger_trace,
+                args={"bytes": memtable.bytes, "entries": len(memtable)},
+            )
         done, self._flush_done = self._flush_done, self.sim.event()
         done.succeed()
         self._maybe_compact()
@@ -432,7 +462,7 @@ class LsmEngine:
         self.stats.recoveries += 1
         self.stats.recovered_records += len(records)
         if self.memtable.full and self.immutable is None:
-            self._rotate(tag.request)
+            self._rotate(tag)
         return len(records)
 
     def crash_and_recover(self, tag: Optional[IoTag] = None):
@@ -461,6 +491,7 @@ class LsmEngine:
 
     def _compact(self, job):
         tag = IoTag(self.tenant, RequestClass.PUT, InternalOp.COMPACT)
+        t0 = self.sim.now
         aborted = False
         outputs: List[SsTable] = []
         try:
@@ -497,6 +528,18 @@ class LsmEngine:
                     self.fs.delete(table.file)
         finally:
             self._compacting = False
+            tr = self.tracer
+            if tr is not None and tr.enabled:
+                tr.span(
+                    "compact", "engine", f"engine.{self.tenant}", "compact",
+                    t0, self.sim.now,
+                    args={
+                        "inputs": len(job.inputs),
+                        "outputs": len(outputs),
+                        "level": job.target_level,
+                        "ok": not aborted,
+                    },
+                )
             done, self._compact_done = self._compact_done, self.sim.event()
             done.succeed()
         if aborted:

@@ -37,9 +37,11 @@ __all__ = ["Wal"]
 class Wal:
     """One tenant memtable's write-ahead log file."""
 
-    def __init__(self, sim: Simulator, fs: SimFilesystem, name: str):
+    def __init__(self, sim: Simulator, fs: SimFilesystem, name: str, tracer=None):
         self.sim = sim
         self.fs = fs
+        #: optional repro.obs Tracer recording one span per group commit
+        self.tracer = tracer
         self.file: SimFile = fs.create(name)
         self._pending: List[Tuple[int, Event, Optional[Tuple[int, int]]]] = []
         self._inflight: List[Tuple[int, Event, Optional[Tuple[int, int]]]] = []
@@ -114,9 +116,20 @@ class Wal:
                 self._inflight = batch
                 total = sum(nbytes for nbytes, _ev, _rec in batch)
                 self.batches += 1
+                tr = self.tracer
+                t0 = self.sim.now if tr is not None and tr.enabled else 0.0
                 try:
                     yield self.file.append(total, tag=tag)
                 except StorageFault as exc:
+                    if tr is not None and tr.enabled:
+                        # Group-commit attribution is approximate: the
+                        # batch serves every waiter but carries the tag
+                        # (and trace id) of the append that started it.
+                        tr.span(
+                            "wal.commit", "engine", f"engine.{tag.tenant}", "wal",
+                            t0, self.sim.now, trace=tag.trace,
+                            args={"records": len(batch), "bytes": total, "ok": False},
+                        )
                     # The group write failed: the batch's bytes are a
                     # torn region; fail every waiter so they re-issue.
                     self.failed_batches += 1
@@ -126,6 +139,12 @@ class Wal:
                         if not ev.triggered:
                             ev.fail(exc)
                     continue
+                if tr is not None and tr.enabled:
+                    tr.span(
+                        "wal.commit", "engine", f"engine.{tag.tenant}", "wal",
+                        t0, self.sim.now, trace=tag.trace,
+                        args={"records": len(batch), "bytes": total, "ok": True},
+                    )
                 self._inflight = []
                 committed = [rec for _nbytes, _ev, rec in batch if rec is not None]
                 if committed and self._commit_listeners:

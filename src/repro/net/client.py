@@ -41,6 +41,7 @@ class ClusterClient:
         name: str = "client0",
         config: Optional[NetConfig] = None,
         resolve_rounds: int = 3,
+        tracer=None,
     ):
         if resolve_rounds < 1:
             raise ValueError("need at least one resolution round")
@@ -49,7 +50,10 @@ class ClusterClient:
         self.membership = membership
         self.config = config or fabric.config
         self.resolve_rounds = resolve_rounds
-        self.rpc = RpcEndpoint(sim, fabric, name, config=self.config)
+        #: optional repro.obs Tracer; client requests allocate the root
+        #: trace ids that the whole downstream stack inherits
+        self.tracer = tracer
+        self.rpc = RpcEndpoint(sim, fabric, name, config=self.config, tracer=tracer)
         #: per-tenant end-to-end latency (network + storage + retries)
         self.latencies: Dict[str, LatencyRecorder] = {}
         #: per-tenant app-level counters as seen from this client
@@ -83,38 +87,61 @@ class ClusterClient:
         respondent is the freshest).
         """
         started = self.sim.now
+        trace = self._new_trace()
         if self.config.quorum_reads and self.config.rf > 1:
-            size = yield from self._quorum_get(tenant, key)
+            size = yield from self._quorum_get(tenant, key, trace)
         else:
             reply = yield from self._call_primary(
-                tenant, key, "kv.get", {"tenant": tenant, "key": key}, ACK_BYTES
+                tenant, key, "kv.get",
+                self._payload({"tenant": tenant, "key": key}, trace), ACK_BYTES,
+                trace,
             )
             size = reply["size"]
-        self._note(tenant, "get", size or 1024, started)
+        self._note(tenant, "get", size or 1024, started, trace)
         return size
 
     def put(self, tenant: str, key: int, size: int):
         """PUT; acked once durable on the partition's write quorum."""
         started = self.sim.now
+        trace = self._new_trace()
         yield from self._call_primary(
             tenant,
             key,
             "kv.put",
-            {"tenant": tenant, "key": key, "size": size},
+            self._payload({"tenant": tenant, "key": key, "size": size}, trace),
             size,
+            trace,
         )
-        self._note(tenant, "put", size, started)
+        self._note(tenant, "put", size, started, trace)
 
     def delete(self, tenant: str, key: int):
         started = self.sim.now
+        trace = self._new_trace()
         yield from self._call_primary(
-            tenant, key, "kv.delete", {"tenant": tenant, "key": key}, ACK_BYTES
+            tenant, key, "kv.delete",
+            self._payload({"tenant": tenant, "key": key}, trace), ACK_BYTES,
+            trace,
         )
-        self._note(tenant, "delete", 1024, started)
+        self._note(tenant, "delete", 1024, started, trace)
 
     # -- internals ---------------------------------------------------------
 
-    def _call_primary(self, tenant: str, key: int, method: str, payload, nbytes: int):
+    def _new_trace(self) -> Optional[int]:
+        tr = self.tracer
+        if tr is not None and tr.enabled:
+            return tr.new_trace()
+        return None
+
+    @staticmethod
+    def _payload(payload: dict, trace: Optional[int]) -> dict:
+        """Attach the trace id to a wire payload (only when tracing, so
+        untraced runs ship byte-identical payload dicts)."""
+        if trace is not None:
+            payload["trace"] = trace
+        return payload
+
+    def _call_primary(self, tenant: str, key: int, method: str, payload, nbytes: int,
+                      trace: Optional[int] = None):
         """Call the key's primary, re-resolving across failovers."""
         stats = self.stats.setdefault(tenant, RequestStats())
         last: Optional[StorageFault] = None
@@ -138,7 +165,9 @@ class ClusterClient:
                 yield self.sim.timeout(self.config.rpc_backoff)
                 continue
             try:
-                result = yield from self.rpc.call(target, method, payload, nbytes)
+                result = yield from self.rpc.call(
+                    target, method, payload, nbytes, trace=trace
+                )
                 return result
             except RetriesExhausted as exc:
                 stats.retries += 1
@@ -149,7 +178,7 @@ class ClusterClient:
             f"{self.resolve_rounds} resolution rounds"
         ) from last
 
-    def _quorum_get(self, tenant: str, key: int):
+    def _quorum_get(self, tenant: str, key: int, trace: Optional[int] = None):
         """Read from a quorum of live replicas; chain-senior reply wins."""
         partition = self.partition_map.partition_of(tenant, key)
         live = [r for r in partition.replicas if self.membership.is_live(r)]
@@ -160,10 +189,12 @@ class ClusterClient:
         need = min(self.config.effective_read_quorum, len(live))
         state = {"replies": {}, "done": 0}
         quorum = self.sim.event()
-        payload = {"tenant": tenant, "key": key}
+        payload = self._payload({"tenant": tenant, "key": key}, trace)
         for rank, name in enumerate(live):
             self.sim.process(
-                self._read_one(name, rank, payload, state, need, len(live), quorum),
+                self._read_one(
+                    name, rank, payload, state, need, len(live), quorum, trace
+                ),
                 name=f"qread.{self.rpc.name}.{name}",
             )
         yield quorum
@@ -171,9 +202,11 @@ class ClusterClient:
         best_rank = min(state["replies"])
         return state["replies"][best_rank]
 
-    def _read_one(self, target, rank, payload, state, need, total, quorum):
+    def _read_one(self, target, rank, payload, state, need, total, quorum, trace=None):
         try:
-            reply = yield from self.rpc.call(target, "kv.get", payload, ACK_BYTES)
+            reply = yield from self.rpc.call(
+                target, "kv.get", payload, ACK_BYTES, trace=trace
+            )
             state["replies"][rank] = reply["size"]
         except StorageFault:
             pass
@@ -193,8 +226,17 @@ class ClusterClient:
                     )
                 )
 
-    def _note(self, tenant: str, kind: str, size: int, started: float) -> None:
+    def _note(
+        self, tenant: str, kind: str, size: int, started: float,
+        trace: Optional[int] = None,
+    ) -> None:
         self.stats.setdefault(tenant, RequestStats()).note(kind, size)
         self.latencies.setdefault(tenant, LatencyRecorder()).record(
             kind, self.sim.now - started
         )
+        tr = self.tracer
+        if tr is not None and tr.enabled:
+            tr.span(
+                kind, "client", self.rpc.name, tenant, started, self.sim.now,
+                trace=trace, args={"bytes": size},
+            )

@@ -236,6 +236,22 @@ class NetworkFabric:
 
     # -- diagnostics -------------------------------------------------------
 
+    def publish_metrics(self, registry) -> None:
+        """Snapshot per-link counters into a repro.obs MetricsRegistry.
+
+        Idempotent: every call installs fresh snapshots under
+        ``net.link`` with (src, dst, field) labels.
+        """
+        from ..obs.metrics import Counter
+
+        for (src, dst), s in self.link_stats.items():
+            for fname, value in vars(s).items():
+                counter = Counter()
+                counter.value = float(value)
+                registry.install(
+                    "net.link", counter, src=src, dst=dst, field=fname
+                )
+
     def stats_table(self) -> Dict[str, Dict[str, float]]:
         """Per-link counters keyed "src->dst", for reports."""
         table: Dict[str, Dict[str, float]] = {}

@@ -102,7 +102,9 @@ class KvService:
         self.partition_map = partition_map
         self.membership = membership
         self.config = config or fabric.config
-        self.rpc = RpcEndpoint(sim, fabric, node.name, config=self.config)
+        self.rpc = RpcEndpoint(
+            sim, fabric, node.name, config=self.config, tracer=node.tracer
+        )
         self.rpc.register("kv.get", self._handle_get)
         self.rpc.register("kv.put", self._handle_put)
         self.rpc.register("kv.delete", self._handle_delete)
@@ -159,24 +161,26 @@ class KvService:
 
     def _handle_get(self, payload):
         tenant, key = payload["tenant"], payload["key"]
-        size = yield from self.node.get(tenant, key)
+        size = yield from self.node.get(tenant, key, trace=payload.get("trace"))
         return {"size": size}, (size or ACK_BYTES)
 
     def _handle_put(self, payload):
         tenant, key, size = payload["tenant"], payload["key"], payload["size"]
+        trace = payload.get("trace")
         partition = self._own_partition(tenant, key)
         # Local durable write first: when this returns, the record's WAL
         # group commit has landed — the commit hook has run and the
         # record is eligible for acknowledgement and shipping.
-        yield from self.node.put(tenant, key, size)
-        yield from self._replicate(partition, key, size, "put")
+        yield from self.node.put(tenant, key, size, trace=trace)
+        yield from self._replicate(partition, key, size, "put", trace)
         return {"ok": True}, ACK_BYTES
 
     def _handle_delete(self, payload):
         tenant, key = payload["tenant"], payload["key"]
+        trace = payload.get("trace")
         partition = self._own_partition(tenant, key)
-        yield from self.node.delete(tenant, key)
-        yield from self._replicate(partition, key, 0, "delete")
+        yield from self.node.delete(tenant, key, trace=trace)
+        yield from self._replicate(partition, key, 0, "delete", trace)
         return {"ok": True}, ACK_BYTES
 
     def _own_partition(self, tenant: str, key: int):
@@ -194,7 +198,7 @@ class KvService:
             )
         return partition
 
-    def _replicate(self, partition, key: int, size: int, op: str):
+    def _replicate(self, partition, key: int, size: int, op: str, trace=None):
         """Ship the just-committed record; wait for the write quorum.
 
         The quorum requirement is clamped to the replicas that are
@@ -219,12 +223,16 @@ class KvService:
             "size": size,
             "op": op,
         }
+        if trace is not None:
+            payload["trace"] = trace
         nbytes = size + REPL_HEADER_BYTES
         quorum = self.sim.event()
         state = {"acks": 0, "done": 0}
         for name in backups:
             self.sim.process(
-                self._ship_one(name, payload, nbytes, state, need, len(backups), quorum),
+                self._ship_one(
+                    name, payload, nbytes, state, need, len(backups), quorum, trace
+                ),
                 name=f"repl.{self.node.name}->{name}",
             )
         try:
@@ -234,10 +242,10 @@ class KvService:
             raise
         self.quorum_acks += 1
 
-    def _ship_one(self, target, payload, nbytes, state, need, total, quorum):
+    def _ship_one(self, target, payload, nbytes, state, need, total, quorum, trace=None):
         ok = False
         try:
-            yield from self.rpc.call(target, "repl.apply", payload, nbytes)
+            yield from self.rpc.call(target, "repl.apply", payload, nbytes, trace=trace)
             ok = True
         except (RetriesExhausted, StorageFault):
             ok = False
@@ -270,6 +278,7 @@ class KvService:
             payload["key"],
             payload["size"],
             payload["op"],
+            payload.get("trace"),
             done,
         )
         if slot not in self._draining:
@@ -289,10 +298,10 @@ class KvService:
                 entry = pending.pop(self._applied[slot] + 1, None)
                 if entry is None:
                     return
-                key, size, op, done = entry
+                key, size, op, trace, done = entry
                 try:
                     yield from self.node.apply_replica(
-                        tenant, key, size or 1024, op=op
+                        tenant, key, size or 1024, op=op, trace=trace
                     )
                 except StorageFault as exc:
                     # The apply did not land (engine retries exhausted);

@@ -51,7 +51,12 @@ class RpcStats:
 
 @dataclass(frozen=True)
 class RpcMessage:
-    """One message on the wire (request, response, or one-way cast)."""
+    """One message on the wire (request, response, or one-way cast).
+
+    ``trace`` is the originating request's trace id (see
+    :mod:`repro.obs.trace`), carried by value so a request's spans on
+    the serving node join the caller's trace; None when tracing is off.
+    """
 
     kind: str  # "req" | "resp" | "cast"
     src: str
@@ -59,6 +64,7 @@ class RpcMessage:
     method: str = ""
     payload: Any = None
     ok: bool = True
+    trace: Optional[int] = None
 
 
 class RpcEndpoint:
@@ -70,11 +76,15 @@ class RpcEndpoint:
         fabric: NetworkFabric,
         name: str,
         config: Optional[NetConfig] = None,
+        tracer=None,
     ):
         self.sim = sim
         self.fabric = fabric
         self.name = name
         self.config = config or fabric.config
+        #: optional repro.obs Tracer recording call round-trip and
+        #: server-side handler spans
+        self.tracer = tracer
         self.nic = fabric.attach(name, self._on_message)
         self.stats = RpcStats()
         #: method -> generator function(payload) -> (result, reply_bytes)
@@ -108,7 +118,8 @@ class RpcEndpoint:
                        payload=payload),
         )
 
-    def call(self, target: str, method: str, payload: Any, nbytes: int):
+    def call(self, target: str, method: str, payload: Any, nbytes: int,
+             trace: Optional[int] = None):
         """DES generator: request/response with retries and backoff.
 
         Raises :class:`RetriesExhausted` (cause: the final
@@ -121,7 +132,9 @@ class RpcEndpoint:
         attempt = 0
         while True:
             try:
-                result = yield from self.call_once(target, method, payload, nbytes)
+                result = yield from self.call_once(
+                    target, method, payload, nbytes, trace=trace
+                )
                 return result
             except NetworkFault as exc:
                 attempt += 1
@@ -134,11 +147,13 @@ class RpcEndpoint:
                     ) from exc
                 yield self.sim.timeout(cfg.rpc_backoff * (2 ** (attempt - 1)))
 
-    def call_once(self, target: str, method: str, payload: Any, nbytes: int):
+    def call_once(self, target: str, method: str, payload: Any, nbytes: int,
+                  trace: Optional[int] = None):
         """DES generator: a single attempt against the response budget."""
         self.stats.calls += 1
         self._next_id += 1
         corr_id = self._next_id
+        started = self.sim.now
         response = self.sim.event()
         self._waiting[corr_id] = response
         self.fabric.send(
@@ -146,12 +161,19 @@ class RpcEndpoint:
             target,
             nbytes,
             RpcMessage(kind="req", src=self.name, corr_id=corr_id, method=method,
-                       payload=payload),
+                       payload=payload, trace=trace),
         )
         timer = self.sim.timeout(self.config.rpc_timeout)
         yield self.sim.any_of([response, timer])
         if response.triggered:
             self.stats.round_trips += 1
+            tr = self.tracer
+            if tr is not None and tr.enabled:
+                tr.span(
+                    f"rpc.{method}", "net", self.name, target,
+                    started, self.sim.now, trace=trace,
+                    args={"bytes": nbytes, "ok": response.ok},
+                )
             if not response.ok:
                 raise response.value
             return response.value
@@ -193,6 +215,7 @@ class RpcEndpoint:
                 nbytes=ACK_BYTES,
             )
             return
+        started = self.sim.now
         try:
             result, reply_bytes = yield from handler(message.payload)
         except Exception as exc:  # noqa: BLE001 - travels back to the caller
@@ -202,6 +225,12 @@ class RpcEndpoint:
                 nbytes=ACK_BYTES,
             )
             return
+        tr = self.tracer
+        if tr is not None and tr.enabled:
+            tr.span(
+                f"serve.{message.method}", "net", self.name, message.src,
+                started, self.sim.now, trace=message.trace,
+            )
         self._respond(message, ok=True, payload=result, nbytes=reply_bytes)
 
     def _respond(
@@ -212,7 +241,7 @@ class RpcEndpoint:
             request.src,
             nbytes,
             RpcMessage(kind="resp", src=self.name, corr_id=request.corr_id,
-                       payload=payload, ok=ok),
+                       payload=payload, ok=ok, trace=request.trace),
         )
 
 

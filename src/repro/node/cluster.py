@@ -45,10 +45,14 @@ class StorageCluster:
         partitions_per_tenant: int = 8,
         seed: int = 0,
         net=None,
+        obs=None,
     ):
         if n_nodes < 1:
             raise ValueError("cluster needs at least one node")
         self.sim = sim
+        #: shared repro.obs.Observability handle — every node publishes
+        #: spans into the same tracer, so cross-node traces line up
+        self.obs = obs
         self.nodes: Dict[str, StorageNode] = {}
         self.overflows: List[OverflowReport] = []
         for i in range(n_nodes):
@@ -60,6 +64,7 @@ class StorageCluster:
                 seed=seed + i,
                 name=name,
                 on_overflow=self.overflows.append,
+                obs=obs,
             )
         self.partition_map = PartitionMap(partitions_per_tenant)
         self.router = Router(self.nodes, self.partition_map)
@@ -170,9 +175,10 @@ class StorageCluster:
         if name is None:
             name = f"client{self._clients}"
         self._clients += 1
+        tracer = self.obs.tracer if self.obs is not None else None
         return ClusterClient(
             self.sim, self.fabric, self.partition_map, self.membership,
-            name=name, config=self.net,
+            name=name, config=self.net, tracer=tracer,
         )
 
     # -- failures ----------------------------------------------------------------

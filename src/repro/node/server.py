@@ -29,6 +29,7 @@ from ..faults import (
     RetriesExhausted,
     StorageFault,
 )
+from ..obs import Counter, Observability, VopAudit
 from ..sim import Event, Simulator
 from ..ssd import SimFilesystem, SsdDevice, SsdProfile, get_profile
 from .cache import ObjectCache
@@ -80,12 +81,18 @@ class StorageNode:
         name: str = "node0",
         on_overflow: Optional[Callable[[OverflowReport], None]] = None,
         fault_plan: Optional[FaultPlan] = None,
+        obs: Optional[Observability] = None,
     ):
         self.sim = sim
         self.name = name
         self.profile = get_profile(profile) if isinstance(profile, str) else profile
         self.config = config or NodeConfig()
-        self.device = SsdDevice(sim, self.profile, seed=seed, fault_plan=fault_plan)
+        self.obs = obs or Observability()
+        self.tracer = self.obs.tracer
+        self.metrics = self.obs.metrics
+        self.device = SsdDevice(
+            sim, self.profile, seed=seed, fault_plan=fault_plan, tracer=self.tracer
+        )
         calibration = reference_calibration(self.profile)
         self.cost_model: CostModel = make_cost_model(self.config.cost_model, calibration)
         self.tracker = ResourceTracker()
@@ -95,7 +102,12 @@ class StorageNode:
             self.cost_model,
             config=self.config.scheduler,
             io_observer=self.tracker.note_io,
+            tracer=self.tracer,
         )
+        self.audit: Optional[VopAudit] = None
+        if self.obs.audit:
+            self.audit = VopAudit(self.cost_model)
+            self.audit.attach(self.scheduler, self.device)
         self.fs = SimFilesystem(sim, self.scheduler, capacity=self.profile.logical_capacity)
         capacity = self.config.capacity_vops
         if capacity is None:
@@ -146,6 +158,7 @@ class StorageNode:
             name,
             config=engine_config or self.config.engine,
             tracker=self.tracker,
+            tracer=self.tracer,
         )
         self.tenants[name] = descriptor
         self.request_stats[name] = RequestStats()
@@ -175,26 +188,40 @@ class StorageNode:
 
     # -- request API (drive with ``yield from``) ----------------------------------
 
-    def get(self, tenant: str, key: int):
+    def _new_trace(self, trace: Optional[int]) -> Optional[int]:
+        """Allocate a root trace id for a request entering at this node.
+
+        RPC-forwarded requests arrive with the client's id and keep it;
+        direct callers get a fresh one when tracing is on.
+        """
+        tr = self.tracer
+        if trace is None and tr is not None and tr.enabled:
+            return tr.new_trace()
+        return trace
+
+    def get(self, tenant: str, key: int, trace: Optional[int] = None):
         """GET: cache, then the tenant's LSM engine. Returns size or None."""
         self._descriptor(tenant)
         started = self.sim.now
+        trace = self._new_trace(trace)
         if self.cache is not None:
             cached = self.cache.get(tenant, key)
             if cached is not None:
                 self.request_stats[tenant].cache_hits += 1
-                self._account(tenant, "get", cached, RequestClass.GET, started)
+                self._account(tenant, "get", cached, RequestClass.GET, started, trace)
                 return cached
         size = yield from self._execute(
             tenant,
-            lambda: self.engines[tenant].get(key, tag=IoTag(tenant, RequestClass.GET)),
+            lambda: self.engines[tenant].get(
+                key, tag=IoTag(tenant, RequestClass.GET, trace=trace)
+            ),
         )
         if size is not None and self.cache is not None:
             self.cache.put(tenant, key, size)
-        self._account(tenant, "get", size or 1024, RequestClass.GET, started)
+        self._account(tenant, "get", size or 1024, RequestClass.GET, started, trace)
         return size
 
-    def put(self, tenant: str, key: int, size: int):
+    def put(self, tenant: str, key: int, size: int, trace: Optional[int] = None):
         """PUT: write-through cache update + durable engine write.
 
         The completion contract is an *acknowledgement*: when this
@@ -206,17 +233,18 @@ class StorageNode:
         """
         self._descriptor(tenant)
         started = self.sim.now
+        trace = self._new_trace(trace)
         yield from self._execute(
             tenant,
             lambda: self.engines[tenant].put(
-                key, size, tag=IoTag(tenant, RequestClass.PUT)
+                key, size, tag=IoTag(tenant, RequestClass.PUT, trace=trace)
             ),
         )
         if self.cache is not None:
             self.cache.put(tenant, key, size)
-        self._account(tenant, "put", size, RequestClass.PUT, started)
+        self._account(tenant, "put", size, RequestClass.PUT, started, trace)
 
-    def scan(self, tenant: str, lo: int, hi: int, limit=None):
+    def scan(self, tenant: str, lo: int, hi: int, limit=None, trace: Optional[int] = None):
         """Range scan via the tenant's engine.
 
         Returned bytes are accounted as normalized GET units (the
@@ -224,33 +252,38 @@ class StorageNode:
         """
         self._descriptor(tenant)
         started = self.sim.now
+        trace = self._new_trace(trace)
         results = yield from self._execute(
             tenant,
             lambda: self.engines[tenant].scan(
-                lo, hi, tag=IoTag(tenant, RequestClass.GET), limit=limit
+                lo, hi, tag=IoTag(tenant, RequestClass.GET, trace=trace), limit=limit
             ),
         )
         total_bytes = sum(size for _key, size in results) or 1024
-        self._account(tenant, "get", total_bytes, RequestClass.GET, started)
+        self._account(tenant, "get", total_bytes, RequestClass.GET, started, trace)
         return results
 
-    def delete(self, tenant: str, key: int):
+    def delete(self, tenant: str, key: int, trace: Optional[int] = None):
         """DELETE: tombstone write; invalidates the cache."""
         self._descriptor(tenant)
         started = self.sim.now
+        trace = self._new_trace(trace)
         yield from self._execute(
             tenant,
             lambda: self.engines[tenant].delete(
-                key, tag=IoTag(tenant, RequestClass.DELETE)
+                key, tag=IoTag(tenant, RequestClass.DELETE, trace=trace)
             ),
         )
         if self.cache is not None:
             self.cache.invalidate(tenant, key)
-        self._account(tenant, "delete", 1024, RequestClass.DELETE, started)
+        self._account(tenant, "delete", 1024, RequestClass.DELETE, started, trace)
 
     # -- replication apply path (see repro.net.replication) --------------------
 
-    def apply_replica(self, tenant: str, key: int, size: int, op: str = "put"):
+    def apply_replica(
+        self, tenant: str, key: int, size: int, op: str = "put",
+        trace: Optional[int] = None,
+    ):
         """Apply a replicated record shipped from a partition's primary.
 
         The backup runs the same durable write path as a client PUT —
@@ -266,18 +299,19 @@ class StorageNode:
         """
         self._descriptor(tenant)
         started = self.sim.now
+        trace = self._new_trace(trace)
         if op == "delete":
             yield from self._execute(
                 tenant,
                 lambda: self.engines[tenant].delete(
-                    key, tag=IoTag(tenant, RequestClass.DELETE)
+                    key, tag=IoTag(tenant, RequestClass.DELETE, trace=trace)
                 ),
             )
         else:
             yield from self._execute(
                 tenant,
                 lambda: self.engines[tenant].put(
-                    key, size, tag=IoTag(tenant, RequestClass.PUT)
+                    key, size, tag=IoTag(tenant, RequestClass.PUT, trace=trace)
                 ),
             )
         if self.cache is not None:
@@ -287,6 +321,9 @@ class StorageNode:
                 self.cache.put(tenant, key, size)
         self.request_stats[tenant].note("repl", size if op != "delete" else 1024)
         self.latencies[tenant].record("repl", self.sim.now - started)
+        tr = self.tracer
+        if tr is not None and tr.enabled:
+            tr.span("repl", "node", self.name, tenant, started, self.sim.now, trace=trace)
         self.tracker.note_request(tenant, RequestClass.PUT, size)
 
     # -- failure handling ------------------------------------------------------
@@ -393,12 +430,73 @@ class StorageNode:
         return replayed
 
     def _account(
-        self, tenant: str, kind: str, size: int, request: RequestClass, started: float
+        self,
+        tenant: str,
+        kind: str,
+        size: int,
+        request: RequestClass,
+        started: float,
+        trace: Optional[int] = None,
     ) -> None:
         self.request_stats[tenant].note(kind, size)
         self.latencies[tenant].record(kind, self.sim.now - started)
+        tr = self.tracer
+        if tr is not None and tr.enabled:
+            tr.span(
+                kind, "node", self.name, tenant, started, self.sim.now,
+                trace=trace, args={"bytes": size},
+            )
         if request in (RequestClass.GET, RequestClass.PUT):
             self.tracker.note_request(tenant, request, size)
+
+    # -- metrics publication ----------------------------------------------------
+
+    def publish_metrics(self, registry=None) -> None:
+        """Snapshot this node's stat objects into a metrics registry.
+
+        Publishes the per-tenant request counters and latency
+        histograms, the scheduler's per-tenant VOP usage, and the SSD's
+        device counters under labeled metric names.  Idempotent: each
+        call installs fresh snapshots, so periodic publication never
+        double-counts.  Uses ``registry`` or the node's configured
+        ``Observability.metrics``.
+        """
+        registry = registry or self.metrics
+        if registry is None:
+            raise ValueError(f"{self.name}: no metrics registry configured")
+        for tenant, stats in self.request_stats.items():
+            for fname in RequestStats.FIELDS:
+                counter = Counter()
+                counter.value = float(getattr(stats, fname))
+                registry.install(
+                    "node.requests", counter,
+                    node=self.name, tenant=tenant, field=fname,
+                )
+            recorder = self.latencies[tenant]
+            for kind in recorder.kinds():
+                registry.install(
+                    "node.latency", recorder.histogram(kind),
+                    node=self.name, tenant=tenant, op=kind,
+                )
+        for tenant in self.scheduler.tenants:
+            usage = self.scheduler.usage(tenant)
+            for fname, value in vars(usage).items():
+                counter = Counter()
+                counter.value = float(value)
+                registry.install(
+                    "sched.usage", counter,
+                    node=self.name, tenant=tenant, field=fname,
+                )
+            registry.gauge(
+                "sched.allocation", node=self.name, tenant=tenant
+            ).set(self.scheduler.allocation(tenant))
+        for fname, value in vars(self.device.stats).items():
+            if isinstance(value, (int, float)):
+                counter = Counter()
+                counter.value = float(value)
+                registry.install(
+                    "ssd.stats", counter, node=self.name, field=fname
+                )
 
     # -- lifecycle ------------------------------------------------------------------
 

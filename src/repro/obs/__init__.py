@@ -1,0 +1,71 @@
+"""repro.obs — tracing, metrics, and VOP-accounting audit.
+
+Three observation planes over the simulated stack, all passive (they
+never schedule events or touch the RNG, so enabling them cannot change
+a run's trajectory — see ``tests/test_obs.py``):
+
+- :mod:`~repro.obs.trace` — per-request span tracing across client,
+  RPC, node, scheduler, engine, and SSD, exported as Chrome
+  trace-event JSON;
+- :mod:`~repro.obs.metrics` — labeled counters/gauges/histograms that
+  the layers publish their stats into;
+- :mod:`~repro.obs.audit` — cross-layer reconciliation of scheduler
+  VOP charges against the device's observed op stream.
+
+:class:`Observability` bundles them for plumbing through constructors
+(``StorageNode(obs=...)``, ``StorageCluster(obs=...)``); every field
+defaults to off, which is the configuration all reproduced figures and
+determinism tests run under.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .audit import AuditWindow, LedgerEntry, VopAudit
+from .export import latency_breakdown, waterfall_report, write_chrome_trace
+from .metrics import (
+    DEFAULT_BUCKET_RATIO,
+    DEFAULT_LATENCY_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    log_bucket_bounds,
+)
+from .trace import SPAN_FIELDS, Tracer
+
+__all__ = [
+    "Observability",
+    "Tracer",
+    "SPAN_FIELDS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "log_bucket_bounds",
+    "DEFAULT_LATENCY_BOUNDS",
+    "DEFAULT_BUCKET_RATIO",
+    "VopAudit",
+    "AuditWindow",
+    "LedgerEntry",
+    "write_chrome_trace",
+    "waterfall_report",
+    "latency_breakdown",
+]
+
+
+@dataclass
+class Observability:
+    """Observer bundle handed to node/cluster constructors.
+
+    ``audit=True`` asks the node to build a :class:`VopAudit` against
+    its own scheduler and device (reachable afterwards as
+    ``node.audit``); ``tracer``/``metrics`` are shared instances so one
+    trace or registry can span several nodes.
+    """
+
+    tracer: Optional[Tracer] = None
+    metrics: Optional[MetricsRegistry] = None
+    audit: bool = False

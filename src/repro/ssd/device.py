@@ -59,11 +59,21 @@ class SsdDevice:
         precondition: bool = True,
         age_factor: float = 2.0,
         fault_plan: Optional[FaultPlan] = None,
+        tracer=None,
     ):
         self.sim = sim
         self.profile = profile
         self.ftl = Ftl(profile, seed=seed)
         self.stats = SsdStats()
+        #: optional repro.obs Tracer recording controller/channel spans
+        self.tracer = tracer
+        #: called as ("read"|"write", size) whenever a host op finishes
+        #: occupying the device (success or injected fault) — the raw
+        #: op stream the VOP audit reconciles scheduler charges against.
+        #: Plain strings keep repro.ssd free of repro.core imports.
+        self.op_observer = None
+        #: Chrome-trace process track name for this device's spans
+        self.trace_name = f"ssd.{profile.name}"
         self.faults: Optional[FaultInjector] = (
             FaultInjector(fault_plan, name=profile.name) if fault_plan is not None else None
         )
@@ -87,13 +97,18 @@ class SsdDevice:
         """Currently outstanding host ops."""
         return self.profile.queue_depth - self._ncq.value
 
-    def read(self, offset: int, size: int) -> Event:
-        """Submit a read; the returned event triggers on completion."""
-        return self.sim.process(self._do_read(offset, size))
+    def read(self, offset: int, size: int, ctx=None) -> Event:
+        """Submit a read; the returned event triggers on completion.
 
-    def write(self, offset: int, size: int) -> Event:
+        ``ctx`` is an optional ``(trace_id, tenant)`` pair attached to
+        the op's controller/channel spans when a tracer is installed;
+        it never influences execution.
+        """
+        return self.sim.process(self._do_read(offset, size, ctx))
+
+    def write(self, offset: int, size: int, ctx=None) -> Event:
         """Submit a write; the returned event triggers on completion."""
-        return self.sim.process(self._do_write(offset, size))
+        return self.sim.process(self._do_write(offset, size, ctx))
 
     def trim(self, offset: int, size: int) -> None:
         """Invalidate a logical range (instant, as TRIM effectively is)."""
@@ -102,24 +117,28 @@ class SsdDevice:
 
     # -- op execution ------------------------------------------------------------
 
-    def _do_read(self, offset: int, size: int):
+    def _do_read(self, offset: int, size: int, ctx=None):
         yield self._ncq.acquire()
         try:
             # Faults are drawn at admission (windows apply at op
             # arrival) but raised at completion: a failing op still
             # occupies the controller and channels for its service.
             scale, extra, fault = yield from self._admit_faults(offset, size)
-            ready = self._reserve_controller(self.profile.ctrl_overhead_read, size)
+            ready = self._reserve_controller(
+                self.profile.ctrl_overhead_read, size, ctx
+            )
             finish = ready
             for chan, _pages, nbytes in self.ftl.read_channels(offset, size):
                 service = (
                     self.profile.read_access
                     + nbytes * self.profile.read_byte_cost
                 ) * scale
-                finish = max(finish, self._reserve_channel(ready, chan, service))
+                finish = max(finish, self._reserve_channel(ready, chan, service, ctx))
             finish += extra
             if finish > self.sim.now:
                 yield self.sim.timeout(finish - self.sim.now)
+            if self.op_observer is not None:
+                self.op_observer("read", size)
             if fault is not None:
                 if isinstance(fault, CorruptionError):
                     self.stats.corrupt_reads += 1
@@ -131,7 +150,7 @@ class SsdDevice:
         finally:
             self._ncq.release()
 
-    def _do_write(self, offset: int, size: int):
+    def _do_write(self, offset: int, size: int, ctx=None):
         yield self._ncq.acquire()
         try:
             # Flow control: stall while the free pool is down to the GC
@@ -141,7 +160,9 @@ class SsdDevice:
                 self._maybe_start_gc()
                 yield self._gc_progress
             scale, extra, fault = yield from self._admit_faults(offset, size, write=True)
-            ready = self._reserve_controller(self.profile.ctrl_overhead_write, size)
+            ready = self._reserve_controller(
+                self.profile.ctrl_overhead_write, size, ctx
+            )
             plan = self.ftl.host_write(offset, size)
             finish = ready
             for chan, pages in plan.programs:
@@ -149,10 +170,12 @@ class SsdDevice:
                     self.profile.prog_latency
                     + pages * self.profile.page_size * self.profile.write_byte_cost
                 ) * scale
-                finish = max(finish, self._reserve_channel(ready, chan, service))
+                finish = max(finish, self._reserve_channel(ready, chan, service, ctx))
             finish += extra
             if finish > self.sim.now:
                 yield self.sim.timeout(finish - self.sim.now)
+            if self.op_observer is not None:
+                self.op_observer("write", size)
             if fault is not None:
                 # The FTL mapping above stands: a failed program may
                 # leave torn pages behind, exactly like real media.
@@ -190,19 +213,40 @@ class SsdDevice:
             fault = self.faults.draw_read_fault(now, offset, size)
         return scale, extra, fault
 
-    def _reserve_controller(self, overhead: float, size: int) -> float:
-        """FIFO-reserve controller service; return when the op clears it."""
+    def _reserve_controller(self, overhead: float, size: int, ctx=None) -> float:
+        """FIFO-reserve controller service; return when the op clears it.
+
+        Reservation timestamps make stage occupancy known synchronously,
+        so the span (start, finish) is recorded here rather than when
+        the op's completion timeout fires.
+        """
         service = overhead + size * self.profile.ctrl_byte_cost
         start = max(self.sim.now, self._ctrl_free_at)
         self._ctrl_free_at = start + service
         self.stats.controller_busy += service
+        tr = self.tracer
+        if tr is not None and tr.enabled:
+            trace, tenant = ctx if ctx is not None else (None, None)
+            tr.span(
+                "ctrl", "ssd", self.trace_name, "ctrl", start, start + service,
+                trace=trace, args={"tenant": tenant} if tenant else None,
+            )
         return start + service
 
-    def _reserve_channel(self, after: float, chan: int, service: float) -> float:
+    def _reserve_channel(
+        self, after: float, chan: int, service: float, ctx=None, label: str = "chan"
+    ) -> float:
         """FIFO-reserve a channel no earlier than ``after``; return finish."""
         start = max(after, self._chan_free_at[chan])
         self._chan_free_at[chan] = start + service
         self.stats.channel_busy += service
+        tr = self.tracer
+        if tr is not None and tr.enabled:
+            trace, tenant = ctx if ctx is not None else (None, None)
+            tr.span(
+                label, "ssd", self.trace_name, f"chan{chan}", start, start + service,
+                trace=trace, args={"tenant": tenant} if tenant else None,
+            )
         return start + service
 
     # -- garbage collection --------------------------------------------------------
@@ -234,7 +278,10 @@ class SsdDevice:
                         profile.read_access / 4  # sequential in-block reads pipeline
                         + profile.page_size * profile.read_byte_cost
                     )
-                    self._reserve_channel(self.sim.now, move.victim_channel, read_service)
+                    self._reserve_channel(
+                        self.sim.now, move.victim_channel, read_service,
+                        label="gc.read",
+                    )
                     added += read_service
                     # ...and program them on the GC active channels.
                     for chan, pages in move.copies:
@@ -242,11 +289,12 @@ class SsdDevice:
                             profile.prog_latency
                             + pages * profile.page_size * profile.write_byte_cost
                         )
-                        self._reserve_channel(self.sim.now, chan, service)
+                        self._reserve_channel(self.sim.now, chan, service, label="gc.prog")
                         added += service
                 # The erase itself stalls the victim's channel.
                 self._reserve_channel(
-                    self.sim.now, move.victim_channel, profile.erase_latency
+                    self.sim.now, move.victim_channel, profile.erase_latency,
+                    label="gc.erase",
                 )
                 added += profile.erase_latency
                 self.stats.gc_runs += 1

@@ -124,6 +124,8 @@ def run_raw_trial(
     allocations: Optional[Dict[str, float]] = None,
     scheduler_config: Optional[SchedulerConfig] = None,
     env: Optional[DeviceEnv] = None,
+    tracer=None,
+    audit=None,
 ) -> TrialResult:
     """Run one multi-tenant raw-IO trial and measure the steady window.
 
@@ -131,13 +133,27 @@ def run_raw_trial(
     interference-free max (the Fig 4/7 setup); pass ``allocations`` to
     override.  The trial issues IO tagged ``RAW`` directly to a fresh
     Libra scheduler over the (possibly reused) device.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) records scheduler queue/
+    service and device stage spans; ``audit`` (a
+    :class:`repro.obs.VopAudit`) is attached to the trial's scheduler
+    and device.  Audited runs should use a *fresh* ``env`` — the audit
+    reconciles against device-op streams starting from attachment, and
+    a reused, still-draining device would show ops the scheduler never
+    charged.
     """
     if env is None:
         env = DeviceEnv(profile, seed=seed)
     sim, device = env.sim, env.device
+    if tracer is not None:
+        device.tracer = tracer
     if isinstance(cost_model, str):
         cost_model = make_cost_model(cost_model, reference_calibration(profile.name))
-    scheduler = LibraScheduler(sim, device, cost_model, config=scheduler_config)
+    scheduler = LibraScheduler(
+        sim, device, cost_model, config=scheduler_config, tracer=tracer
+    )
+    if audit is not None:
+        audit.attach(scheduler, device)
     if allocations is None:
         share = cost_model.max_iop / len(specs)
         allocations = {spec.name: share for spec in specs}

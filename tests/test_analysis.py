@@ -73,6 +73,25 @@ def test_series_window_mean():
     assert len(s) == 10
 
 
+def test_series_window_mean_matches_linear_scan():
+    """The bisect implementation must agree with the straightforward
+    filter on every window shape: empty, half-open boundaries, windows
+    starting/ending between samples, and out-of-range on both sides."""
+    s = Series("x")
+    times = [0.0, 0.5, 0.5, 1.25, 2.0, 2.0, 2.0, 3.75, 4.0]
+    for i, t in enumerate(times):
+        s.add(t, float(i * i))
+    windows = [
+        (0.0, 0.0), (0.0, 0.5), (0.5, 0.5), (0.5, 2.0), (0.4, 2.1),
+        (-1.0, 0.0), (-5.0, 10.0), (2.0, 4.0), (2.0, 4.1), (3.9, 4.0),
+        (4.0, 9.0), (1.0, 1.1),
+    ]
+    for t0, t1 in windows:
+        selected = [v for t, v in zip(s.times, s.values) if t0 <= t < t1]
+        expected = sum(selected) / len(selected) if selected else 0.0
+        assert s.window_mean(t0, t1) == pytest.approx(expected), (t0, t1)
+
+
 def test_series_set():
     ss = SeriesSet()
     ss.add("a", 1.0, 10.0)

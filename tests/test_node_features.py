@@ -33,7 +33,9 @@ def test_latency_recorder_mean_and_percentile():
         rec.record("get", value)
     assert rec.count("get") == 3
     assert rec.mean("get") == pytest.approx(0.002)
-    assert rec.percentile("get", 50) == pytest.approx(0.002)
+    # percentiles go through the shared obs.metrics histogram: accurate
+    # to one ~2% bucket, exact at the distribution's min/max
+    assert rec.percentile("get", 50) == pytest.approx(0.002, rel=0.02)
     assert rec.percentile("get", 100) == pytest.approx(0.003)
 
 
