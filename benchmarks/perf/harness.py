@@ -24,6 +24,20 @@ is still schema-complete.  ``--profile`` wraps the live kernel bench
 and the serial grid run in :mod:`cProfile` and prints the top entries
 by cumulative time — the hook for digging into a regression the JSON
 surfaced.
+
+Two trajectory mechanisms ride on every run:
+
+- **Regression gate** — the headline numbers (``kernel.events_per_sec``
+  and ``scheduler.ops_per_sec``) are compared against the committed
+  per-mode reference in ``benchmarks/perf/baseline.json``; a drop of
+  more than 20% fails the run.  Set ``PERF_GATE_SKIP=1`` to disable the
+  gate on runners too noisy for wall-clock thresholds (the comparison
+  is still printed).
+- **History** — each run appends one line (git SHA, UTC timestamp,
+  headline numbers) to repo-root ``BENCH_history.jsonl`` and reports
+  the speedup against the previous same-mode entry in the summary, so
+  the perf trajectory across commits survives BENCH_sim.json being
+  overwritten in place.
 """
 
 from __future__ import annotations
@@ -32,9 +46,10 @@ import argparse
 import json
 import os
 import platform
+import subprocess
 import sys
 import time
-from typing import Any, Dict
+from typing import Any, Dict, List
 
 _HERE = os.path.dirname(os.path.abspath(__file__))
 _REPO = os.path.dirname(os.path.dirname(_HERE))
@@ -47,6 +62,118 @@ from perf.microbench import kernel_speedup, scheduler_ops_per_sec  # noqa: E402
 __all__ = ["main", "run_harness"]
 
 DEFAULT_OUTPUT = os.path.join(_REPO, "BENCH_sim.json")
+BASELINE_PATH = os.path.join(_HERE, "baseline.json")
+HISTORY_PATH = os.path.join(_REPO, "BENCH_history.jsonl")
+#: fractional drop vs the committed baseline that fails the gate
+GATE_TOLERANCE = 0.20
+#: headline metrics: (label, result path) pairs the gate and the
+#: history trajectory both track
+HEADLINE_METRICS = (
+    ("kernel.events_per_sec", ("kernel", "events_per_sec")),
+    ("scheduler.ops_per_sec", ("scheduler", "ops_per_sec")),
+)
+
+
+def _headline(results: Dict[str, Any]) -> Dict[str, float]:
+    return {label: results[a][b] for label, (a, b) in HEADLINE_METRICS}
+
+
+def _git_sha() -> str:
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=_REPO, capture_output=True, text=True, timeout=10,
+        )
+        sha = proc.stdout.strip()
+        return sha if proc.returncode == 0 and sha else "unknown"
+    except OSError:
+        return "unknown"
+
+
+def check_regression(
+    results: Dict[str, Any], smoke: bool, path: str = BASELINE_PATH
+) -> List[str]:
+    """Compare headline numbers to the committed per-mode baseline.
+
+    Returns the list of failure messages (empty = pass).  Skipped —
+    with a note, never silently — when ``PERF_GATE_SKIP`` is set or the
+    baseline has no entry for this mode.
+    """
+    if os.environ.get("PERF_GATE_SKIP"):
+        print("[perf] regression gate skipped (PERF_GATE_SKIP set)", file=sys.stderr)
+        return []
+    try:
+        with open(path) as fh:
+            baseline = json.load(fh)
+    except (OSError, ValueError):
+        print(f"[perf] regression gate skipped (no {path})", file=sys.stderr)
+        return []
+    mode = "smoke" if smoke else "full"
+    reference = baseline.get(mode)
+    if not reference:
+        print(f"[perf] regression gate skipped (no {mode!r} baseline)", file=sys.stderr)
+        return []
+    failures = []
+    for label, current in _headline(results).items():
+        ref = reference.get(label)
+        if not ref:
+            continue
+        ratio = current / ref
+        status = "OK" if ratio >= 1.0 - GATE_TOLERANCE else "REGRESSION"
+        print(
+            f"[perf]   gate {label}: {current:.0f} vs baseline {ref:.0f} "
+            f"({ratio:.2f}x) {status}",
+            file=sys.stderr,
+        )
+        if status != "OK":
+            failures.append(
+                f"{label} dropped to {current:.0f} from baseline {ref:.0f} "
+                f"({100.0 * (1.0 - ratio):.0f}% > {100.0 * GATE_TOLERANCE:.0f}% budget; "
+                f"set PERF_GATE_SKIP=1 to override on noisy runners)"
+            )
+    return failures
+
+
+def append_history(results: Dict[str, Any], smoke: bool, path: str = HISTORY_PATH) -> None:
+    """Append this run's headline numbers to the perf trajectory log and
+    report the speedup against the previous same-mode entry."""
+    previous = None
+    try:
+        with open(path) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except ValueError:
+                    continue
+                if entry.get("smoke") == smoke:
+                    previous = entry
+    except OSError:
+        pass
+    record = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "git_sha": _git_sha(),
+        "smoke": smoke,
+        **_headline(results),
+    }
+    with open(path, "a") as fh:
+        fh.write(json.dumps(record, sort_keys=False) + "\n")
+    for label in record:
+        if previous is None:
+            break
+        prev = previous.get(label)
+        if not isinstance(prev, (int, float)) or not prev:
+            continue
+        speedup = record[label] / prev
+        print(
+            f"[perf]   history {label}: {speedup:.2f}x vs previous "
+            f"({previous.get('git_sha', '?')} @ {previous.get('timestamp', '?')})",
+            file=sys.stderr,
+        )
+    if previous is None:
+        print("[perf]   history: first entry for this mode", file=sys.stderr)
 
 
 def _tiny_mode():
@@ -253,10 +380,13 @@ def run_harness(
 ) -> Dict[str, Any]:
     """Run every stage and return the BENCH_sim.json payload."""
     print("[perf] kernel microbench (live vs frozen baseline)...", file=sys.stderr)
+    # Best-of-2 even under --smoke: the regression gate compares the
+    # recorded number against a committed baseline, and a single run is
+    # too exposed to shared-runner jitter to gate on.
     kernel = _maybe_profiled(
         profile,
         "kernel microbench (live)",
-        lambda: kernel_speedup(scale=1, repeats=1 if smoke else 3),
+        lambda: kernel_speedup(scale=1, repeats=2 if smoke else 3),
     )
     kernel = {
         "events": kernel["events"],
@@ -271,10 +401,22 @@ def run_harness(
     )
 
     print("[perf] DDRR scheduler throughput...", file=sys.stderr)
-    sched = scheduler_ops_per_sec(sim_seconds=0.1 if smoke else 0.5)
+    # Best-of-N, like the tracing-overhead stage: the first run in a
+    # fresh interpreter pays cold bytecode/caches and a single run is
+    # at the mercy of shared-runner jitter, so the recorded trajectory
+    # number is the best of three steady-state measurements.
+    sched_repeats = 3
+    sched = max(
+        (
+            scheduler_ops_per_sec(sim_seconds=0.1 if smoke else 0.5)
+            for _ in range(sched_repeats)
+        ),
+        key=lambda r: r["ops_per_sec"],
+    )
     scheduler = {
         "ops": sched["ops"],
         "sim_seconds": sched["sim_seconds"],
+        "repeats": sched_repeats,
         "ops_per_sec": round(sched["ops_per_sec"], 1),
     }
     print(f"[perf]   {scheduler['ops_per_sec']:.0f} chunks/s", file=sys.stderr)
@@ -353,6 +495,11 @@ def main(argv=None) -> int:
         fh.write("\n")
     print(f"[perf] wrote {args.output}", file=sys.stderr)
 
+    print("[perf] perf trajectory (BENCH_history.jsonl)...", file=sys.stderr)
+    append_history(results, smoke=args.smoke)
+    print("[perf] regression gate (vs benchmarks/perf/baseline.json)...", file=sys.stderr)
+    gate_failures = check_regression(results, smoke=args.smoke)
+
     if not results["grids"]["fig4"]["byte_identical"]:
         print("[perf] FAIL: parallel grid diverged from serial", file=sys.stderr)
         return 1
@@ -363,6 +510,10 @@ def main(argv=None) -> int:
             f"2% budget",
             file=sys.stderr,
         )
+        return 1
+    if gate_failures:
+        for failure in gate_failures:
+            print(f"[perf] FAIL: {failure}", file=sys.stderr)
         return 1
     return 0
 

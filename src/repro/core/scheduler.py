@@ -32,7 +32,6 @@ Two paper-faithful details:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import partial
 from typing import Callable, Deque, Dict, List, Optional
 from collections import deque
 
@@ -93,12 +92,18 @@ class _Chunk:
     consulted once per chunk and dispatch/completion can never skew.
     ``t_mark`` is the chunk's current span start for tracing: queue
     entry time until dispatch, then service start until completion.
+    ``state`` is the owning tenant's scheduler state, carried here so
+    the chunk itself is the completion-callback argument — no per-chunk
+    ``partial`` on the dispatch hot path.
     """
 
-    __slots__ = ("task", "offset", "size", "cost", "t_mark")
+    __slots__ = ("task", "state", "offset", "size", "cost", "t_mark")
 
-    def __init__(self, task: "_Task", offset: int, size: int, t_mark: float):
+    def __init__(
+        self, task: "_Task", state: "_TenantState", offset: int, size: int, t_mark: float
+    ):
         self.task = task
+        self.state = state
         self.offset = offset
         self.size = size
         self.cost = 0.0
@@ -280,7 +285,7 @@ class LibraScheduler:
         pos = 0
         while pos < size:
             length = min(chunk_size, size - pos)
-            state.queue.append(_Chunk(task, offset + pos, length, now))
+            state.queue.append(_Chunk(task, state, offset + pos, length, now))
             task.pending_chunks += 1
             self._queued += 1
             pos += length
@@ -390,13 +395,17 @@ class LibraScheduler:
             )
             chunk.t_mark = now  # service span starts here
             ctx = (task.tag.trace, task.tag.tenant)
-        if task.kind == OpKind.READ:
-            completion = self.device.read(chunk.offset, chunk.size, ctx=ctx)
-        else:
-            completion = self.device.write(chunk.offset, chunk.size, ctx=ctx)
-        completion.callbacks.append(partial(self._complete, state, chunk))
+        # Slim dispatch: the device invokes ``_complete(chunk, result)``
+        # directly — on its fast path from the one scheduled finish
+        # action (no Event, no Process, no per-chunk partial), on the
+        # coroutine fallback from the op process's completion event.
+        self.device.submit(
+            task.kind == OpKind.READ, chunk.offset, chunk.size, ctx,
+            self._complete, chunk,
+        )
 
-    def _complete(self, state: _TenantState, chunk: _Chunk, event: Event) -> None:
+    def _complete(self, chunk: _Chunk, event) -> None:
+        state = chunk.state
         self._inflight -= 1
         state.inflight -= 1
         task = chunk.task

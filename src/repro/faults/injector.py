@@ -35,6 +35,10 @@ class FaultInjector:
 
     # -- timing effects --------------------------------------------------------
 
+    def quiescent(self, now: float) -> bool:
+        """True when no fault window covers ``now`` (see the plan)."""
+        return self.plan.quiescent(now)
+
     def stall_until(self, now: float) -> float:
         """Admission time for an op arriving at ``now`` (>= now)."""
         return self.plan.stall_until(now)

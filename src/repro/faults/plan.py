@@ -96,6 +96,20 @@ class FaultPlan:
         """Windows of ``kind`` covering time ``now``."""
         return [w for w in self.windows if w.kind == kind and w.active(now)]
 
+    def quiescent(self, now: float) -> bool:
+        """True when no window of any kind covers ``now``.
+
+        A quiescent plan is behaviorally absent for ops admitted at
+        ``now``: no stall, unit service scale, zero extra latency, and —
+        because the injector only draws while a window is active — no
+        RNG consumption.  This is the fault leg of the device's
+        fast-path admission predicate.
+        """
+        for w in self.windows:
+            if w.start <= now < w.end:
+                return False
+        return True
+
     @property
     def horizon(self) -> float:
         """Latest end time of any window (0 for an empty plan)."""

@@ -10,7 +10,7 @@ cache disabled unless stated, since Libra provisions *disk* IO.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Optional
+from typing import Optional, Tuple
 
 __all__ = ["ObjectCache"]
 

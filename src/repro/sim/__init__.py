@@ -6,6 +6,7 @@ sidestepping Python interpreter overhead entirely.
 """
 
 from .core import (
+    OK_RESULT,
     AllOf,
     AnyOf,
     Event,
@@ -26,6 +27,7 @@ __all__ = [
     "Interrupt",
     "Mutex",
     "Process",
+    "OK_RESULT",
     "Semaphore",
     "SimulationError",
     "Simulator",

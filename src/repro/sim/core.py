@@ -39,6 +39,7 @@ __all__ = [
     "AllOf",
     "Simulator",
     "SimulationError",
+    "OK_RESULT",
 ]
 
 
@@ -189,6 +190,25 @@ class _InterruptResume:
 
     def __init__(self, value: Interrupt):
         self._value = value
+
+
+class _OkResult:
+    """Shared stand-in for a successful completion with no payload.
+
+    Completion consumers only read ``ok`` and ``value`` (plus the
+    ``triggered``/``processed`` flags), so one immutable instance serves
+    every fast-path completion — no throwaway :class:`Event` per IO.
+    """
+
+    __slots__ = ()
+    ok = True
+    value = None
+    triggered = True
+    processed = True
+
+
+#: the one reusable "it worked" completion (see :class:`_OkResult`)
+OK_RESULT = _OkResult()
 
 
 class Process(Event):
@@ -379,6 +399,21 @@ class Simulator:
     def all_of(self, events: Iterable[Event]) -> AllOf:
         """Event that triggers when all of ``events`` have."""
         return AllOf(self, events)
+
+    def call_at(self, at: float, fn: Callable, arg: Any) -> None:
+        """Queue ``fn(arg)`` at absolute simulated time ``at``.
+
+        The one-shot completion primitive behind the device's
+        zero-coroutine IO fast path: a submitter that can compute its
+        finish time analytically schedules a single callback instead of
+        parking a generator on a :class:`Timeout`.  ``at`` must not be
+        in the past — completions are computed from ``max(now, ...)``
+        reservation timestamps, so an earlier time is always a bug.
+        """
+        if at < self.now:
+            raise SimulationError(f"call_at({at}) is before now ({self.now})")
+        self._seq += 1
+        heappush(self._heap, (at, self._seq, fn, arg))
 
     def run(self, until: Optional[float] = None) -> None:
         """Execute events in order until the horizon (or queue drain).

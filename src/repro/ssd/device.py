@@ -27,6 +27,21 @@ an op reserves ``start = max(now, stage_free_at)`` and waits until its
 finish time.  This is exact for FIFO deterministic servers and keeps the
 event count per IO to a handful.
 
+Because the stages are next-free-time accumulators, the common-case op
+timeline is fully computable at submit: when an op is admitted with no
+active fault window, no GC loop running, and an NCQ slot free, the
+device takes a **zero-coroutine fast path** — it books the controller
+and channel reservations synchronously and schedules one completion
+action at the analytic finish time (:meth:`Simulator.call_at`), with no
+generator, no semaphore event, and no timeout.  Any condition that
+makes the timeline stateful (fault windows, GC backpressure, NCQ
+saturation, out-of-range IO) degrades that op to the original coroutine
+pipeline, which remains the single source of truth for the slow path.
+The two paths book identical reservations at identical times, so
+same-seed runs are byte-identical with the fast path on or off
+(``fast_path=False`` forces the coroutine path; the determinism suite
+holds the equivalence).
+
 When constructed with a :class:`~repro.faults.FaultPlan`, the device
 consults a :class:`~repro.faults.FaultInjector` at op admission: stall
 windows delay admission, degraded-bandwidth windows scale channel
@@ -37,15 +52,21 @@ stages it reserved — a failing op still consumes device time).
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Optional
 
 from ..faults import CorruptionError, FaultInjector, FaultPlan
-from ..sim import Event, Semaphore, Simulator
+from ..sim import OK_RESULT, Event, Semaphore, Simulator
 from .ftl import Ftl
 from .profiles import SsdProfile
 from .stats import SsdStats
 
 __all__ = ["SsdDevice"]
+
+
+def _succeed_event(event: Event, _result) -> None:
+    """Completion sink adapter: trigger the fast-path op's Event."""
+    event.succeed()
 
 
 class SsdDevice:
@@ -60,9 +81,14 @@ class SsdDevice:
         age_factor: float = 2.0,
         fault_plan: Optional[FaultPlan] = None,
         tracer=None,
+        fast_path: bool = True,
     ):
         self.sim = sim
         self.profile = profile
+        #: admit common-case ops on the zero-coroutine analytic path;
+        #: False forces every op through the coroutine pipeline (the
+        #: equivalence knob the fast-path byte-identity tests turn)
+        self.fast_path = fast_path
         self.ftl = Ftl(profile, seed=seed)
         self.stats = SsdStats()
         #: optional repro.obs Tracer recording controller/channel spans
@@ -104,16 +130,145 @@ class SsdDevice:
         the op's controller/channel spans when a tracer is installed;
         it never influences execution.
         """
-        return self.sim.process(self._do_read(offset, size, ctx))
+        finish = self._admit_fast_read(offset, size, ctx)
+        if finish is None:
+            return self.sim.process(self._do_read(offset, size, ctx))
+        done = Event(self.sim)
+        self.sim.call_at(finish, self._finish_fast_read, (_succeed_event, done, size))
+        return done
 
     def write(self, offset: int, size: int, ctx=None) -> Event:
         """Submit a write; the returned event triggers on completion."""
-        return self.sim.process(self._do_write(offset, size, ctx))
+        finish = self._admit_fast_write(offset, size, ctx)
+        if finish is None:
+            return self.sim.process(self._do_write(offset, size, ctx))
+        done = Event(self.sim)
+        self.sim.call_at(finish, self._finish_fast_write, (_succeed_event, done, size))
+        return done
+
+    def submit(self, is_read: bool, offset: int, size: int, ctx, callback, cb_arg) -> None:
+        """Slim submission: completion arrives as ``callback(cb_arg, result)``.
+
+        The scheduler's dispatch path.  On the fast path no Event (and
+        no Process) is allocated at all: the single scheduled finish
+        action invokes the callback directly with the shared
+        :data:`~repro.sim.OK_RESULT`.  The fallback degrades to the
+        coroutine pipeline and hands its :class:`Process` to the same
+        callback (a Process exposes the same ``ok``/``value`` shape, and
+        carries the fault when the op failed).
+        """
+        if is_read:
+            finish = self._admit_fast_read(offset, size, ctx)
+            if finish is not None:
+                self.sim.call_at(finish, self._finish_fast_read, (callback, cb_arg, size))
+                return
+            proc = self.sim.process(self._do_read(offset, size, ctx))
+        else:
+            finish = self._admit_fast_write(offset, size, ctx)
+            if finish is not None:
+                self.sim.call_at(finish, self._finish_fast_write, (callback, cb_arg, size))
+                return
+            proc = self.sim.process(self._do_write(offset, size, ctx))
+        proc.callbacks.append(partial(callback, cb_arg))
 
     def trim(self, offset: int, size: int) -> None:
         """Invalidate a logical range (instant, as TRIM effectively is)."""
         self.ftl.trim(offset, size)
         self.stats.trims += 1
+
+    # -- zero-coroutine fast path -------------------------------------------------
+
+    def _admit_fast_read(self, offset: int, size: int, ctx) -> Optional[float]:
+        """Admit a read analytically; returns its finish time, or None.
+
+        None means the op's timeline is stateful — a fault window is
+        active, the GC loop is reserving channel time, the NCQ is
+        saturated, or the range is invalid (the coroutine path owns the
+        failure semantics) — and nothing was reserved.  On success the
+        op holds an NCQ slot plus exactly the controller/channel
+        reservations the coroutine path would have booked at this
+        instant.
+        """
+        if self._gc_running or not self.fast_path:
+            return None
+        faults = self.faults
+        if faults is not None and not faults.quiescent(self.sim.now):
+            return None
+        profile = self.profile
+        if offset < 0 or size <= 0 or offset + size > profile.logical_capacity:
+            return None
+        if not self._ncq.try_acquire():
+            return None
+        ready = self._reserve_controller(profile.ctrl_overhead_read, size, ctx)
+        finish = ready
+        access = profile.read_access
+        byte_cost = profile.read_byte_cost
+        reserve = self._reserve_channel
+        for chan, _pages, nbytes in self.ftl.read_channels(offset, size):
+            t = reserve(ready, chan, access + nbytes * byte_cost, ctx)
+            if t > finish:
+                finish = t
+        # The coroutine path sleeps `finish - now`, landing on
+        # now + (finish - now) — associate the same way so fast-path
+        # completions are bitwise-identical to the fallback's.
+        now = self.sim.now
+        return now + (finish - now)
+
+    def _admit_fast_write(self, offset: int, size: int, ctx) -> Optional[float]:
+        """Write twin of :meth:`_admit_fast_read` (adds the GC checks)."""
+        if self._gc_running or not self.fast_path:
+            return None
+        ftl = self.ftl
+        if ftl.host_starved:
+            return None
+        faults = self.faults
+        if faults is not None and not faults.quiescent(self.sim.now):
+            return None
+        profile = self.profile
+        if offset < 0 or size <= 0 or offset + size > profile.logical_capacity:
+            return None
+        if not self._ncq.try_acquire():
+            return None
+        ready = self._reserve_controller(profile.ctrl_overhead_write, size, ctx)
+        finish = ready
+        prog = profile.prog_latency
+        page_cost = profile.page_size * profile.write_byte_cost
+        reserve = self._reserve_channel
+        for chan, pages in ftl.host_write(offset, size).programs:
+            t = reserve(ready, chan, prog + pages * page_cost, ctx)
+            if t > finish:
+                finish = t
+        # Same float association as the fallback's timeout (see read).
+        now = self.sim.now
+        return now + (finish - now)
+
+    def _finish_fast_read(self, arg) -> None:
+        """One-shot completion for a fast-path read.
+
+        Mirrors the coroutine epilogue exactly: observer, stats, NCQ
+        release (waking any waiter before the consumer runs), then the
+        completion delivery.
+        """
+        deliver, sink, size = arg
+        if self.op_observer is not None:
+            self.op_observer("read", size)
+        stats = self.stats
+        stats.reads += 1
+        stats.read_bytes += size
+        self._ncq.release()
+        deliver(sink, OK_RESULT)
+
+    def _finish_fast_write(self, arg) -> None:
+        """One-shot completion for a fast-path write (kicks GC first)."""
+        deliver, sink, size = arg
+        if self.op_observer is not None:
+            self.op_observer("write", size)
+        stats = self.stats
+        stats.writes += 1
+        stats.write_bytes += size
+        self._maybe_start_gc()
+        self._ncq.release()
+        deliver(sink, OK_RESULT)
 
     # -- op execution ------------------------------------------------------------
 

@@ -91,6 +91,20 @@ class Ftl:
         self._gc_cursor = 0
         self._in_gc = False
         self.emergency_gcs = 0
+        # Watermarks depend only on construction-time constants; they
+        # are precomputed because gc_needed/host_starved sit on the
+        # per-op hot path (consulted at every write completion).
+        # Block-count floor keeps the GC trigger safely above the host
+        # starvation threshold even on tiny test devices.
+        self._gc_low_blocks = max(
+            int(n_blocks * profile.gc_low_watermark),
+            profile.gc_reserve_blocks + 2 * profile.channels,
+        )
+        self._gc_high_blocks = max(
+            int(n_blocks * profile.gc_high_watermark),
+            self._gc_low_blocks + 2 * profile.channels,
+        )
+        self._starve_blocks = profile.gc_reserve_blocks + 2
 
     # -- capacity state ------------------------------------------------------
 
@@ -98,22 +112,6 @@ class Ftl:
     def free_fraction(self) -> float:
         """Fraction of physical blocks on the free list."""
         return len(self.free_blocks) / len(self.block_valid)
-
-    @property
-    def _gc_low_blocks(self) -> int:
-        # Block-count floor keeps the GC trigger safely above the host
-        # starvation threshold even on tiny test devices.
-        return max(
-            int(len(self.block_valid) * self.profile.gc_low_watermark),
-            self.profile.gc_reserve_blocks + 2 * self.profile.channels,
-        )
-
-    @property
-    def _gc_high_blocks(self) -> int:
-        return max(
-            int(len(self.block_valid) * self.profile.gc_high_watermark),
-            self._gc_low_blocks + 2 * self.profile.channels,
-        )
 
     @property
     def gc_needed(self) -> bool:
@@ -132,7 +130,7 @@ class Ftl:
         The last few free blocks are reserved for GC's own destination
         blocks; letting the host consume them would deadlock collection.
         """
-        return len(self.free_blocks) <= self.profile.gc_reserve_blocks + 2
+        return len(self.free_blocks) <= self._starve_blocks
 
     # -- address helpers -----------------------------------------------------
 

@@ -1,6 +1,15 @@
 """Workload generation: distributions, raw-IO trials, KV drivers."""
 
-from .distributions import FixedSize, LogNormalSize, UniformKeys, ZipfKeys, align
+from .distributions import (
+    BlockStream,
+    ExponentialArrivals,
+    FixedSize,
+    LogNormalSize,
+    Uniform01,
+    UniformKeys,
+    ZipfKeys,
+    align,
+)
 from .trace import Trace, TraceRecord, TraceRecorder, replay_trace
 from .iobench import (
     DeviceEnv,
@@ -13,8 +22,11 @@ from .iobench import (
 )
 
 __all__ = [
+    "BlockStream",
     "DeviceEnv",
+    "ExponentialArrivals",
     "FixedSize",
+    "Uniform01",
     "LogNormalSize",
     "TenantResult",
     "TenantSpec",

@@ -26,7 +26,14 @@ from ..engine import INDEX_ENTRY_BYTES, LsmEngine, SsTable
 from ..engine.sstable import BLOCK_SIZE
 from ..node.server import StorageNode
 from ..sim import Simulator
-from .distributions import LogNormalSize, UniformKeys, ZipfKeys
+from .distributions import (
+    BlockStream,
+    ExponentialArrivals,
+    LogNormalSize,
+    Uniform01,
+    UniformKeys,
+    ZipfKeys,
+)
 
 __all__ = ["KvTenantSpec", "KvLoad", "bootstrap_tenant", "start_kv_load"]
 
@@ -53,6 +60,10 @@ class KvTenantSpec:
     #: offset added to every key — lets one tenant host disjoint
     #: keyspace regions for different workload shapes (Fig 12 swaps)
     key_base: int = 0
+    #: per-worker open-loop request rate (requests/s).  0 keeps the
+    #: paper's closed loop; positive paces each worker with exponential
+    #: inter-arrival gaps (a Poisson arrival stream per worker).
+    arrival_rate: float = 0.0
 
     def key_sampler(self):
         if self.zipf_theta > 0:
@@ -138,13 +149,23 @@ def start_kv_load(
 
     samplers: Dict[int, Tuple] = {}
 
-    def spec_samplers(spec: KvTenantSpec) -> Tuple:
-        """Key/size samplers, cached per spec object (retarget-aware)."""
+    def spec_streams(spec: KvTenantSpec) -> Tuple:
+        """Batched key/size/mix/gap streams, cached per spec object
+        (retarget-aware).
+
+        All streams share the load's one seeded RNG, so draws interleave
+        in request order; batching refills each stream a block at a time
+        instead of paying a sampler call per request.
+        """
         cached = samplers.get(id(spec))
         if cached is None:
             cached = (
-                spec.key_sampler(),
-                LogNormalSize(spec.put_size, spec.sigma),
+                BlockStream(spec.key_sampler(), rng),
+                BlockStream(LogNormalSize(spec.put_size, spec.sigma), rng),
+                BlockStream(Uniform01(), rng),
+                BlockStream(ExponentialArrivals(spec.arrival_rate), rng)
+                if spec.arrival_rate > 0
+                else None,
             )
             samplers[id(spec)] = cached
         return cached
@@ -153,17 +174,19 @@ def start_kv_load(
         while sim.now < load.horizon:
             # Re-read the spec each request so retarget() takes effect.
             spec = load.spec(tenant)
-            keys, put_sizes = spec_samplers(spec)
-            key = keys.sample(rng)
+            keys, put_sizes, mix, gaps = spec_streams(spec)
+            if gaps is not None:
+                yield sim.timeout(gaps.next())
+            key = keys.next()
             if spec.separate_regions:
                 key = key % (spec.n_keys // 2)
-            if rng.random() < spec.get_fraction:
+            if mix.next() < spec.get_fraction:
                 # GETs stay in the (preloaded) lower half of the keyspace.
                 yield from node.get(tenant, spec.key_base + key)
             else:
                 if spec.separate_regions:
                     key += spec.n_keys // 2  # PUTs stress the tail
-                yield from node.put(tenant, spec.key_base + key, put_sizes.sample(rng))
+                yield from node.put(tenant, spec.key_base + key, put_sizes.next())
 
     def sampler():
         baselines = {

@@ -1,0 +1,73 @@
+"""Unit tests for the perf harness's regression gate and history log."""
+
+import json
+import os
+import sys
+
+_REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_BENCH = os.path.join(_REPO, "benchmarks")
+if _BENCH not in sys.path:
+    sys.path.insert(0, _BENCH)
+
+from perf.harness import append_history, check_regression  # noqa: E402
+
+
+def results(kernel=500_000.0, sched=40_000.0):
+    return {
+        "kernel": {"events_per_sec": kernel},
+        "scheduler": {"ops_per_sec": sched},
+    }
+
+
+def write_baseline(path, kernel=500_000.0, sched=40_000.0):
+    payload = {
+        "smoke": {
+            "kernel.events_per_sec": kernel,
+            "scheduler.ops_per_sec": sched,
+        }
+    }
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+def test_gate_passes_within_tolerance(tmp_path, monkeypatch):
+    monkeypatch.delenv("PERF_GATE_SKIP", raising=False)
+    base = write_baseline(tmp_path / "baseline.json")
+    # 19% down on one metric, up on the other: both inside the budget
+    assert check_regression(results(kernel=405_000.0, sched=44_000.0), True, base) == []
+
+
+def test_gate_fails_on_drop(tmp_path, monkeypatch):
+    monkeypatch.delenv("PERF_GATE_SKIP", raising=False)
+    base = write_baseline(tmp_path / "baseline.json")
+    failures = check_regression(results(sched=30_000.0), True, base)
+    assert len(failures) == 1
+    assert "scheduler.ops_per_sec" in failures[0]
+    assert "PERF_GATE_SKIP" in failures[0]
+
+
+def test_gate_override_env_skips(tmp_path, monkeypatch):
+    base = write_baseline(tmp_path / "baseline.json")
+    monkeypatch.setenv("PERF_GATE_SKIP", "1")
+    assert check_regression(results(sched=1.0), True, base) == []
+
+
+def test_gate_skips_without_baseline_or_mode(tmp_path, monkeypatch):
+    monkeypatch.delenv("PERF_GATE_SKIP", raising=False)
+    missing = str(tmp_path / "nope.json")
+    assert check_regression(results(sched=1.0), True, missing) == []
+    base = write_baseline(tmp_path / "baseline.json")
+    # baseline has no "full" entry -> skip, not fail
+    assert check_regression(results(sched=1.0), False, base) == []
+
+
+def test_history_appends_records(tmp_path):
+    path = str(tmp_path / "history.jsonl")
+    append_history(results(sched=40_000.0), smoke=True, path=path)
+    append_history(results(sched=44_000.0), smoke=True, path=path)
+    append_history(results(sched=10_000.0), smoke=False, path=path)
+    entries = [json.loads(line) for line in open(path)]
+    assert len(entries) == 3
+    assert [e["smoke"] for e in entries] == [True, True, False]
+    assert entries[1]["scheduler.ops_per_sec"] == 44_000.0
+    assert all("timestamp" in e and "git_sha" in e for e in entries)

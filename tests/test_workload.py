@@ -10,9 +10,12 @@ from repro.node import NodeConfig, StorageNode
 from repro.sim import Simulator
 from repro.ssd import SsdProfile
 from repro.workload import (
+    BlockStream,
+    ExponentialArrivals,
     FixedSize,
     LogNormalSize,
     TenantSpec,
+    Uniform01,
     UniformKeys,
     ZipfKeys,
     align,
@@ -107,6 +110,73 @@ def test_distribution_validation():
         ZipfKeys(0)
     with pytest.raises(ValueError):
         ZipfKeys(10, theta=-1)
+    with pytest.raises(ValueError):
+        ExponentialArrivals(0.0)
+
+
+# ---------------------------------------------------------------------------
+# Batched streams
+# ---------------------------------------------------------------------------
+
+def test_fixed_size_block():
+    assert FixedSize(4096).sample_block(random.Random(1), 5) == [4096] * 5
+
+
+def test_lognormal_block_matches_distribution():
+    dist = LogNormalSize(mean=16 * KIB, sigma=4 * KIB)
+    samples = dist.sample_block(random.Random(2), 4000)
+    mean = sum(samples) / len(samples)
+    assert 0.85 * 16 * KIB < mean < 1.25 * 16 * KIB
+    assert all(dist.lo <= s <= dist.hi and s % KIB == 0 for s in samples)
+
+
+def test_lognormal_block_zero_sigma():
+    dist = LogNormalSize(mean=8 * KIB, sigma=0)
+    assert dist.sample_block(random.Random(3), 4) == [8 * KIB] * 4
+
+
+def test_uniform_keys_block_in_range():
+    samples = UniformKeys(100).sample_block(random.Random(5), 2000)
+    assert min(samples) >= 0 and max(samples) < 100
+    assert len(set(samples)) > 80
+
+
+def test_zipf_block_skewed():
+    dist = ZipfKeys(1000, theta=1.1)
+    samples = dist.sample_block(random.Random(6), 5000)
+    head = sum(1 for s in samples if s < 10)
+    assert head > len(samples) * 0.3
+    assert 0 <= min(samples) and max(samples) < 1000
+
+
+def test_exponential_arrivals_mean():
+    dist = ExponentialArrivals(rate=200.0)
+    rng = random.Random(7)
+    gaps = dist.sample_block(rng, 4000)
+    assert all(g >= 0 for g in gaps)
+    mean = sum(gaps) / len(gaps)
+    assert 0.85 * dist.mean < mean < 1.15 * dist.mean
+    assert ExponentialArrivals(200.0).sample(random.Random(8)) > 0
+
+
+def test_uniform01_block_range():
+    samples = Uniform01().sample_block(random.Random(9), 1000)
+    assert all(0.0 <= u < 1.0 for u in samples)
+
+
+def test_block_stream_matches_block_draws():
+    # Pulling one-at-a-time through the stream replays exactly the
+    # block draws: same seed, same block size, same values.
+    a = BlockStream(LogNormalSize(16 * KIB, 4 * KIB), random.Random(11), block=64)
+    streamed = [a.next() for _ in range(200)]
+    rng = random.Random(11)
+    dist = LogNormalSize(16 * KIB, 4 * KIB)
+    direct = []
+    while len(direct) < 200:
+        direct.extend(dist.sample_block(rng, 64))
+    assert streamed == direct[:200]
+    with pytest.raises(ValueError):
+        BlockStream(dist, random.Random(1), block=0)
 
 
 # ---------------------------------------------------------------------------
@@ -220,6 +290,29 @@ def test_kv_load_retarget_switches_mix():
     )
     sim.run(until=8.0)
     assert node.stats("t1").puts > 0
+
+
+def test_kv_load_open_loop_paces_requests():
+    # A slow Poisson arrival stream must throttle an open-loop tenant
+    # well below what the closed loop sustains.
+    def run(arrival_rate):
+        sim, node = make_node()
+        spec = KvTenantSpec(
+            name="t1", get_fraction=1.0, get_size=4 * KIB, put_size=4 * KIB,
+            sigma=0, n_keys=400, workers=2, arrival_rate=arrival_rate,
+        )
+        node.add_tenant("t1")
+        bootstrap_tenant(node.engines["t1"], 400, 4 * KIB)
+        load = KvLoad(sim, node, [spec])
+        start_kv_load(load, horizon=4.0, seed=3)
+        sim.run(until=4.0)
+        return node.stats("t1").gets
+
+    open_loop = run(arrival_rate=20.0)
+    closed_loop = run(arrival_rate=0.0)
+    # 2 workers * 20 req/s * 4 s ≈ 160 arrivals; allow generous slack
+    assert 0 < open_loop < 260
+    assert closed_loop > 2 * open_loop
 
 
 def test_kv_load_unknown_retarget_rejected():
