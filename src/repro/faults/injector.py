@@ -107,6 +107,19 @@ class NetFaultInjector:
         self.dropped_messages = 0
         self.duplicated_messages = 0
         self.delayed_messages = 0
+        self.partitioned_messages = 0
+
+    def severed(self, now: float, src: str, dst: str) -> bool:
+        """True if an active NET_PARTITION window cuts ``src``→``dst``.
+
+        Severance is total and deterministic — no RNG draw — so a
+        partition window never perturbs the drop/dup random streams.
+        """
+        for window in self.plan.active(now, FaultKind.NET_PARTITION):
+            if window.severs(src, dst):
+                self.partitioned_messages += 1
+                return True
+        return False
 
     def drop(self, now: float) -> bool:
         """True if a message sent at ``now`` is lost in flight."""

@@ -46,6 +46,9 @@ class FaultKind(str, Enum):
     MSG_DELAY = "msg-delay"
     #: messages are delivered twice (probability per message)
     MSG_DUP = "msg-duplicate"
+    #: endpoint ``groups`` are bidirectionally severed from each other
+    #: (every cross-group message is dropped, deterministically)
+    NET_PARTITION = "net-partition"
 
 
 @dataclass(frozen=True)
@@ -61,6 +64,10 @@ class FaultWindow:
     extra_latency: float = 0.0
     #: service-time multiplier (DEGRADED_BW kind, >= 1)
     slowdown: float = 1.0
+    #: endpoint groups severed from each other (NET_PARTITION kind).
+    #: Endpoints not named in any group form an implicit final group —
+    #: a window with ``(("node0",),)`` isolates node0 from everyone.
+    groups: Tuple[Tuple[str, ...], ...] = ()
 
     def __post_init__(self):
         if self.end <= self.start:
@@ -71,6 +78,34 @@ class FaultWindow:
             raise ValueError(f"negative extra latency {self.extra_latency}")
         if self.slowdown < 1.0:
             raise ValueError(f"slowdown {self.slowdown} must be >= 1")
+        if self.kind == FaultKind.NET_PARTITION:
+            if not self.groups:
+                raise ValueError("NET_PARTITION window needs endpoint groups")
+            seen = set()
+            for group in self.groups:
+                for name in group:
+                    if name in seen:
+                        raise ValueError(
+                            f"endpoint {name!r} appears in two partition groups"
+                        )
+                    seen.add(name)
+        elif self.groups:
+            raise ValueError(f"groups only apply to NET_PARTITION, not {self.kind}")
+
+    def severs(self, src: str, dst: str) -> bool:
+        """True if this partition window cuts the ``src``→``dst`` link.
+
+        Endpoints are assigned to their named group, or to the implicit
+        "rest" group when unlisted; a message is severed iff its ends
+        fall in different groups.
+        """
+        src_group = dst_group = -1  # -1 = the implicit rest group
+        for i, group in enumerate(self.groups):
+            if src in group:
+                src_group = i
+            if dst in group:
+                dst_group = i
+        return src_group != dst_group
 
     def active(self, now: float) -> bool:
         """True if an op arriving at ``now`` is subject to this window."""

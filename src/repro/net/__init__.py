@@ -4,19 +4,26 @@ The cluster-layer substrate the paper assumes but does not model:
 cross-node messages cost simulated time on NIC/link resources
 (:mod:`.fabric`), request/response RPC adds correlation, per-attempt
 timeouts, and retry budgets (:mod:`.rpc`), partitions are replicated
-primary-backup with write quorums (:mod:`.replication`), and heartbeat
-failure detection promotes backups when a node dies (:mod:`.failover`).
-Applications come in through :class:`~repro.net.client.ClusterClient`.
+primary-backup with write quorums or Dynamo-style leaderless with
+vector clocks, sloppy quorums, and hinted handoff
+(:mod:`.replication`, :mod:`.versioning`), heartbeat failure detection
+promotes backups — or, leaderless, revives healed nodes —
+(:mod:`.failover`), and background anti-entropy converges cold
+divergence (:mod:`.antientropy`).  Applications come in through
+:class:`~repro.net.client.ClusterClient`.
 """
 
+from .antientropy import AntiEntropyService
 from .client import ClusterClient
 from .fabric import LinkStats, NetConfig, NetworkFabric, Nic
 from .failover import FailoverRecord, FailureDetector, HeartbeatService
 from .replication import KvService, Membership
 from .rpc import ACK_BYTES, RpcEndpoint, RpcError, RpcMessage, RpcStats
+from .versioning import VectorClock, Version, VersionStore, reconcile
 
 __all__ = [
     "ACK_BYTES",
+    "AntiEntropyService",
     "ClusterClient",
     "FailoverRecord",
     "FailureDetector",
@@ -31,4 +38,8 @@ __all__ = [
     "RpcError",
     "RpcMessage",
     "RpcStats",
+    "VectorClock",
+    "Version",
+    "VersionStore",
+    "reconcile",
 ]

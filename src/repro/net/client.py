@@ -10,8 +10,20 @@ Failover shows up here as *re-resolution*: when a call's RPC budget is
 exhausted (the primary died, or the network ate every attempt), the
 client re-resolves the key — the map version has usually been bumped by
 the failure detector by then, so the cached owner is dropped and the
-new primary is tried.  The rounds budget bounds how long a request can
-chase a moving owner before the failure surfaces to the application.
+new primary is tried.  The budget is additionally *abandoned early*
+(the RPC layer's ``give_up`` hook) the moment the membership declares
+the target dead or the partition map version moves: a client holding a
+pre-failover resolution re-resolves after one failed attempt instead of
+hammering a dead endpoint with its whole retry budget.  The rounds
+budget bounds how long a request can chase a moving owner before the
+failure surfaces to the application.
+
+Under **leaderless** replication (``NetConfig.replication_mode``) there
+is no primary: the client walks the key's home replicas — membership-
+live ones first, then suspected-dead ones, because a *partitioned* node
+is marked dead by the majority-side detector yet still answers clients
+on its own side — and the first replica to accept coordinates the
+request (``lkv.put`` / ``lkv.get``).
 """
 
 from __future__ import annotations
@@ -88,7 +100,14 @@ class ClusterClient:
         """
         started = self.sim.now
         trace = self._new_trace()
-        if self.config.quorum_reads and self.config.rf > 1:
+        if self.config.leaderless:
+            reply = yield from self._call_coordinator(
+                tenant, key, "lkv.get",
+                self._payload({"tenant": tenant, "key": key}, trace), ACK_BYTES,
+                trace,
+            )
+            size = reply["size"]
+        elif self.config.quorum_reads and self.config.rf > 1:
             size = yield from self._quorum_get(tenant, key, trace)
         else:
             reply = yield from self._call_primary(
@@ -101,9 +120,26 @@ class ClusterClient:
         return size
 
     def put(self, tenant: str, key: int, size: int):
-        """PUT; acked once durable on the partition's write quorum."""
+        """PUT; acked once durable on the partition's write quorum.
+
+        Leaderless mode returns the coordinator's reply (the stamped
+        version travels back), which is what the partition experiments
+        record to audit acked-write survival.
+        """
         started = self.sim.now
         trace = self._new_trace()
+        if self.config.leaderless:
+            reply = yield from self._call_coordinator(
+                tenant, key, "lkv.put",
+                self._payload(
+                    {"tenant": tenant, "key": key, "size": size, "op": "put"},
+                    trace,
+                ),
+                size,
+                trace,
+            )
+            self._note(tenant, "put", size, started, trace)
+            return reply
         yield from self._call_primary(
             tenant,
             key,
@@ -117,6 +153,18 @@ class ClusterClient:
     def delete(self, tenant: str, key: int):
         started = self.sim.now
         trace = self._new_trace()
+        if self.config.leaderless:
+            reply = yield from self._call_coordinator(
+                tenant, key, "lkv.put",
+                self._payload(
+                    {"tenant": tenant, "key": key, "size": 0, "op": "delete"},
+                    trace,
+                ),
+                ACK_BYTES,
+                trace,
+            )
+            self._note(tenant, "delete", 1024, started, trace)
+            return reply
         yield from self._call_primary(
             tenant, key, "kv.delete",
             self._payload({"tenant": tenant, "key": key}, trace), ACK_BYTES,
@@ -165,8 +213,18 @@ class ClusterClient:
                 yield self.sim.timeout(self.config.rpc_backoff)
                 continue
             try:
+                # Abandon the remaining retry budget the moment the
+                # detector declares the owner dead or the map version
+                # moves (a failover happened): the next round
+                # re-resolves against the fresh map instead of burning
+                # attempt after attempt on a dead endpoint.
+                version0 = self.partition_map.version
                 result = yield from self.rpc.call(
-                    target, method, payload, nbytes, trace=trace
+                    target, method, payload, nbytes, trace=trace,
+                    give_up=lambda t=target, v=version0: (
+                        not self.membership.is_live(t)
+                        or self.partition_map.version != v
+                    ),
                 )
                 return result
             except RetriesExhausted as exc:
@@ -176,6 +234,41 @@ class ClusterClient:
         raise RetriesExhausted(
             f"{self.rpc.name}: {method} {tenant}/{key} failed after "
             f"{self.resolve_rounds} resolution rounds"
+        ) from last
+
+    def _call_coordinator(self, tenant: str, key: int, method: str, payload,
+                          nbytes: int, trace: Optional[int] = None):
+        """Leaderless routing: walk the key's home replicas until one
+        accepts the coordination.
+
+        Membership-live replicas go first; suspected-dead ones are
+        still tried last, because under a network partition the
+        majority-side detector marks minority nodes dead while they
+        remain perfectly reachable from clients on their own side —
+        that fallback is what keeps both sides available.
+        """
+        stats = self.stats.setdefault(tenant, RequestStats())
+        partition = self.partition_map.partition_of(tenant, key)
+        candidates = [
+            name for name in partition.replicas if self.membership.is_live(name)
+        ] + [
+            name for name in partition.replicas
+            if not self.membership.is_live(name)
+        ]
+        last: Optional[StorageFault] = None
+        for target in candidates:
+            try:
+                result = yield from self.rpc.call(
+                    target, method, payload, nbytes, trace=trace
+                )
+                return result
+            except RetriesExhausted as exc:
+                stats.retries += 1
+                last = exc
+        stats.errors += 1
+        raise RetriesExhausted(
+            f"{self.rpc.name}: {method} {tenant}/{key}: no home replica "
+            f"reachable ({candidates})"
         ) from last
 
     def _quorum_get(self, tenant: str, key: int, trace: Optional[int] = None):

@@ -49,14 +49,27 @@ class NetConfig:
     # -- replication -------------------------------------------------------
     #: replication factor: replicas per partition (1 = no replication)
     rf: int = 1
+    #: "primary-backup" (the paper's in-rack setting) or "leaderless"
+    #: (Dynamo-style: any reachable replica coordinates, sloppy quorums
+    #: with hinted handoff, vector-clock versioning with read repair,
+    #: background anti-entropy)
+    replication_mode: str = "primary-backup"
     #: replicas that must durably hold a PUT/DELETE before the ack
     #: (None = majority of rf; clamped to the live replica count)
     write_quorum: Optional[int] = None
     #: serve GETs from a read quorum (freshest reply wins) instead of
-    #: the primary alone
+    #: the primary alone (always on in leaderless mode)
     quorum_reads: bool = False
     #: replies a quorum read waits for (None = majority of rf)
     read_quorum: Optional[int] = None
+    # -- leaderless mode ---------------------------------------------------
+    #: seconds between hinted-handoff delivery sweeps on each node
+    hint_interval: float = 0.5
+    #: seconds between per-node anti-entropy digest exchanges
+    #: (0 disables the background service)
+    anti_entropy_interval: float = 2.0
+    #: Merkle-style digest buckets per (tenant, partition) key range
+    anti_entropy_buckets: int = 16
     # -- RPC budgets (mirroring NodeConfig's device-fault budgets) ---------
     #: per-attempt response budget, seconds
     rpc_timeout: float = 0.25
@@ -64,6 +77,11 @@ class NetConfig:
     rpc_retries: int = 5
     #: initial retry backoff, seconds (doubles per attempt)
     rpc_backoff: float = 0.005
+    #: deterministic backoff jitter fraction in [0, 1]: each retry's
+    #: backoff is scaled by ``1 + jitter * u`` with ``u`` drawn from the
+    #: endpoint's own seeded RNG, so synchronized retry storms after a
+    #: partition heal decorrelate without losing reproducibility
+    rpc_jitter: float = 0.25
     # -- failure detection -------------------------------------------------
     #: seconds between heartbeats from each node
     heartbeat_interval: float = 0.2
@@ -87,6 +105,22 @@ class NetConfig:
             raise ValueError(
                 f"read_quorum {self.read_quorum} not in [1, rf={self.rf}]"
             )
+        if self.replication_mode not in ("primary-backup", "leaderless"):
+            raise ValueError(
+                f"unknown replication_mode {self.replication_mode!r}"
+            )
+        if not 0.0 <= self.rpc_jitter <= 1.0:
+            raise ValueError(f"rpc_jitter {self.rpc_jitter} not in [0, 1]")
+        if self.hint_interval <= 0:
+            raise ValueError("hint_interval must be positive")
+        if self.anti_entropy_interval < 0:
+            raise ValueError("anti_entropy_interval must be >= 0")
+        if self.anti_entropy_buckets < 1:
+            raise ValueError("anti_entropy_buckets must be >= 1")
+
+    @property
+    def leaderless(self) -> bool:
+        return self.replication_mode == "leaderless"
 
     @property
     def effective_write_quorum(self) -> int:
@@ -112,6 +146,8 @@ class LinkStats:
     duplicated: int = 0
     #: messages addressed to a node that was down at delivery time
     dead_letters: int = 0
+    #: messages severed by an active NET_PARTITION window
+    partitioned: int = 0
 
 
 class Nic:
@@ -208,6 +244,11 @@ class NetworkFabric:
         deliveries = 1
         extra = 0.0
         if self.injector is not None:
+            # Partition severance first: it is deterministic (no RNG
+            # draw), so cutting a link never perturbs drop/dup streams.
+            if self.injector.severed(now, src, dst):
+                stats.partitioned += 1
+                return
             if self.injector.drop(now):
                 stats.dropped += 1
                 return
@@ -237,20 +278,45 @@ class NetworkFabric:
     # -- diagnostics -------------------------------------------------------
 
     def publish_metrics(self, registry) -> None:
-        """Snapshot per-link counters into a repro.obs MetricsRegistry.
+        """Snapshot fabric counters into a repro.obs MetricsRegistry.
 
-        Idempotent: every call installs fresh snapshots under
-        ``net.link`` with (src, dst, field) labels.
+        Idempotent: every call installs fresh snapshots — per-link
+        counters under ``net.link`` with (src, dst, field) labels, the
+        fabric-wide aggregates a partition experiment is debugged from
+        (dead letters, severed messages, down endpoints) under
+        ``net.fabric``, per-endpoint egress queue depth (seconds of
+        serialized backlog ahead of a message sent now) under
+        ``net.nic``, and the injector's message-fault counters under
+        ``net.faults``.
         """
         from ..obs.metrics import Counter
 
+        def snap(name: str, value: float, **labels) -> None:
+            counter = Counter()
+            counter.value = float(value)
+            registry.install(name, counter, **labels)
+
+        totals = {"dead_letters": 0.0, "dropped": 0.0, "partitioned": 0.0}
         for (src, dst), s in self.link_stats.items():
             for fname, value in vars(s).items():
-                counter = Counter()
-                counter.value = float(value)
-                registry.install(
-                    "net.link", counter, src=src, dst=dst, field=fname
-                )
+                snap("net.link", value, src=src, dst=dst, field=fname)
+                if fname in totals:
+                    totals[fname] += value
+        for fname, value in totals.items():
+            snap("net.fabric", value, field=fname)
+        snap("net.fabric", len(self._down), field="down_endpoints")
+        now = self.sim.now
+        for name, nic in self.nics.items():
+            registry.gauge("net.nic", endpoint=name, field="queue_depth_s").set(
+                max(nic.next_free - now, 0.0)
+            )
+            snap("net.nic", nic.messages, endpoint=name, field="messages")
+        if self.injector is not None:
+            for fname in (
+                "dropped_messages", "duplicated_messages",
+                "delayed_messages", "partitioned_messages",
+            ):
+                snap("net.faults", getattr(self.injector, fname), field=fname)
 
     def stats_table(self) -> Dict[str, Dict[str, float]]:
         """Per-link counters keyed "src->dst", for reports."""
@@ -264,5 +330,6 @@ class NetworkFabric:
                 "dropped": s.dropped,
                 "duplicated": s.duplicated,
                 "dead_letters": s.dead_letters,
+                "partitioned": s.partitioned,
             }
         return table

@@ -3,9 +3,15 @@
 Every storage node's :class:`KvService` endpoint casts a heartbeat to a
 cluster controller endpoint on a fixed period; the controller's
 :class:`FailureDetector` sweeps the table and declares any node silent
-for longer than the suspicion timeout **dead** — there is no
-un-suspecting here (a killed node stays killed; flapping detectors are
-out of scope for the single-failure experiments this layer serves).
+for longer than the suspicion timeout **dead**.  Under primary-backup
+there is no un-suspecting (a killed node stays killed; flapping
+detectors are out of scope for the single-failure experiments that mode
+serves).  Under **leaderless** replication the detector instead treats
+death as *suspicion*: a suspected node whose heartbeats resume — a
+partitioned node after the heal — is revived
+(:meth:`~repro.net.replication.Membership.mark_live`), which is the
+signal hinted handoff waits for, and no promotions run (there is no
+primary to promote; any home replica coordinates).
 
 Failover of a dead node's primaries is sequence-aware: for each
 affected partition the detector queries every live backup replica for
@@ -123,6 +129,12 @@ class FailureDetector:
         node = payload["node"]
         if node in self.last_seen:
             self.last_seen[node] = self.sim.now
+            # Leaderless: a suspected node whose heartbeats resume is
+            # recovered — revive it so hinted handoff starts delivering.
+            # Primary-backup keeps declared deaths final (the promoted
+            # map must not flap back).
+            if self.config.leaderless and not self.membership.is_live(node):
+                self.membership.mark_live(node)
 
     def _sweep(self):
         interval = self.config.heartbeat_interval
@@ -132,7 +144,8 @@ class FailureDetector:
             for node in sorted(self.last_seen):
                 if self.membership.is_live(node) and self.last_seen[node] < deadline:
                     self.membership.mark_dead(node)
-                    yield from self._failover(node)
+                    if not self.config.leaderless:
+                        yield from self._failover(node)
 
     def stop(self) -> None:
         self._stopped = True

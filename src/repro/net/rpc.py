@@ -17,6 +17,8 @@ handlers satisfy this by construction.  Duplicate responses are ignored
 
 from __future__ import annotations
 
+import random
+import zlib
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional
 
@@ -87,6 +89,12 @@ class RpcEndpoint:
         self.tracer = tracer
         self.nic = fabric.attach(name, self._on_message)
         self.stats = RpcStats()
+        #: per-endpoint RNG for retry-backoff jitter, seeded from the
+        #: endpoint *name* (stable across runs — never Python's salted
+        #: hash) so same-seed runs draw identical jitter while distinct
+        #: endpoints decorrelate.  Drawn only on retries: fault-free
+        #: runs consume no randomness (the repo-wide determinism rule).
+        self._jitter_rng = random.Random(zlib.crc32(name.encode()) ^ 0x1277E4)
         #: method -> generator function(payload) -> (result, reply_bytes)
         self._methods: Dict[str, Callable] = {}
         #: one-way method -> plain function(payload) -> None
@@ -119,7 +127,8 @@ class RpcEndpoint:
         )
 
     def call(self, target: str, method: str, payload: Any, nbytes: int,
-             trace: Optional[int] = None):
+             trace: Optional[int] = None,
+             give_up: Optional[Callable[[], bool]] = None):
         """DES generator: request/response with retries and backoff.
 
         Raises :class:`RetriesExhausted` (cause: the final
@@ -127,6 +136,18 @@ class RpcEndpoint:
         budget is spent.  A target the membership layer already marked
         dead fails fast with :class:`~repro.faults.NodeUnreachable`
         wrapped the same way — re-resolution is the caller's job.
+
+        ``give_up()`` is consulted after each failed attempt: returning
+        True abandons the remaining retry budget immediately (wrapped in
+        :class:`RetriesExhausted` with :class:`NodeUnreachable` as the
+        cause).  Callers use it to stop hammering a target the failure
+        detector has since declared dead instead of burning the full
+        budget on an endpoint that will never answer.
+
+        Retry backoff doubles per attempt and carries deterministic
+        per-endpoint jitter (``config.rpc_jitter``), so the retry storm
+        after a partition heal spreads out instead of re-synchronizing
+        into timeout waves.
         """
         cfg = self.config
         attempt = 0
@@ -139,13 +160,24 @@ class RpcEndpoint:
             except NetworkFault as exc:
                 attempt += 1
                 self.stats.retries += 1
+                if give_up is not None and give_up():
+                    self.stats.failures += 1
+                    raise RetriesExhausted(
+                        f"{self.name}: rpc {method} to {target} abandoned "
+                        f"after {attempt} attempts (target declared dead)"
+                    ) from NodeUnreachable(
+                        f"{self.name}: target node {target} is marked down"
+                    )
                 if attempt > cfg.rpc_retries:
                     self.stats.failures += 1
                     raise RetriesExhausted(
                         f"{self.name}: rpc {method} to {target} failed after "
                         f"{cfg.rpc_retries} retries"
                     ) from exc
-                yield self.sim.timeout(cfg.rpc_backoff * (2 ** (attempt - 1)))
+                backoff = cfg.rpc_backoff * (2 ** (attempt - 1))
+                if cfg.rpc_jitter > 0.0:
+                    backoff *= 1.0 + cfg.rpc_jitter * self._jitter_rng.random()
+                yield self.sim.timeout(backoff)
 
     def call_once(self, target: str, method: str, payload: Any, nbytes: int,
                   trace: Optional[int] = None):

@@ -74,11 +74,13 @@ class StorageCluster:
         self.fabric = None
         self.membership = None
         self.services = {}
+        self.anti_entropy = {}
         self.detector = None
         self.heartbeats = {}
         self._clients = 0
         if net is not None:
             from ..net import (
+                AntiEntropyService,
                 FailureDetector,
                 HeartbeatService,
                 KvService,
@@ -95,6 +97,11 @@ class StorageCluster:
                 )
                 for name, node in self.nodes.items()
             }
+            if net.leaderless:
+                self.anti_entropy = {
+                    name: AntiEntropyService(sim, service)
+                    for name, service in self.services.items()
+                }
             self.detector = FailureDetector(
                 sim,
                 self.fabric,
@@ -151,13 +158,29 @@ class StorageCluster:
                 service.watch_tenant(tenant)
 
     def _local_reservation(self, tenant: str, name: str) -> Optional[Reservation]:
-        """The tenant's reservation share on one node; None if unhosted."""
+        """The tenant's reservation share on one node; None if unhosted.
+
+        Primary-backup: GETs follow the node's *primary* share (the
+        primary serves reads), PUTs its *replica* share.  Leaderless:
+        reads fan out to any ``R`` of the ``rf`` home replicas, so the
+        GET share follows the replica share scaled by ``R / rf`` — the
+        expected fraction of the tenant's read work each replica
+        absorbs under any-replica coordination; writes still land
+        durably on every replica, so the PUT share is unchanged.
+        """
         total = self.partition_map.partitions_per_tenant
         primaries = self.partition_map.partitions_on(tenant, name)
         replicas = self.partition_map.replicas_on(tenant, name)
         if replicas == 0:
             return None
         reservation = self._global_reservations[tenant]
+        if self.net is not None and self.net.leaderless:
+            rf = max(self.rf, 1)
+            read_share = min(self.net.effective_read_quorum, rf) / rf
+            return Reservation(
+                gets=reservation.gets * replicas / total * read_share,
+                puts=reservation.puts * replicas / total,
+            )
         return Reservation(
             gets=reservation.gets * primaries / total,
             puts=reservation.puts * replicas / total,
@@ -394,9 +417,36 @@ class StorageCluster:
             for name, service in self.services.items()
         }
 
+    def divergent_partitions(self, tenant: str) -> List[int]:
+        """Partition ids whose home replicas' version stores disagree
+        (leaderless mode) — the convergence probe behind the
+        time-to-convergence measurements: empty means every replica of
+        every partition holds the identical surviving version set.
+        """
+        total = self.partition_map.partitions_per_tenant
+        divergent = []
+        for partition in self.partition_map.partitions(tenant):
+            fingerprints = {
+                self.services[name].versions.fingerprint(
+                    tenant, partition.index, total
+                )
+                for name in partition.replicas
+            }
+            if len(fingerprints) > 1:
+                divergent.append(partition.index)
+        return divergent
+
+    def converged(self, tenant: str) -> bool:
+        """True when all the tenant's replicas agree (leaderless mode)."""
+        return not self.divergent_partitions(tenant)
+
     def stop(self) -> None:
         for heartbeat in self.heartbeats.values():
             heartbeat.stop()
+        for service in self.services.values():
+            service.stop()
+        for ae in self.anti_entropy.values():
+            ae.stop()
         if self.detector is not None:
             self.detector.stop()
         for node in self.nodes.values():

@@ -49,6 +49,10 @@ class PartitionMap:
         self.partitions_per_tenant = partitions_per_tenant
         self.version = 0
         self._map: Dict[str, List[Partition]] = {}
+        #: the node ring each tenant was placed over (placement order) —
+        #: what hint-holder selection walks when home replicas are
+        #: unreachable in leaderless mode
+        self._rings: Dict[str, Tuple[str, ...]] = {}
 
     def place_tenant(self, tenant: str, nodes: Sequence[str], rf: int = 1) -> None:
         """Assign the tenant's partitions round-robin over ``nodes``.
@@ -70,6 +74,7 @@ class PartitionMap:
             )
             for i in range(self.partitions_per_tenant)
         ]
+        self._rings[tenant] = tuple(nodes)
         self.version += 1
 
     def partition_of(self, tenant: str, key: int) -> Partition:
@@ -112,6 +117,24 @@ class PartitionMap:
         """How many of the tenant's partitions have *any* replica on
         ``node`` (primary included) — the write-load weight."""
         return sum(1 for p in self._map.get(tenant, []) if node in p.replicas)
+
+    def hint_candidates(self, tenant: str, index: int) -> List[str]:
+        """Ring successors beyond a partition's replica set, in walk
+        order — the Dynamo-style sloppy-quorum spill targets: when a
+        home replica is unreachable, the write (plus a hint naming the
+        intended owner) lands on the first reachable candidate, to be
+        handed back when the owner recovers."""
+        partitions = self._map.get(tenant)
+        if partitions is None:
+            raise KeyError(f"tenant {tenant!r} not placed")
+        ring = self._rings[tenant]
+        partition = partitions[index]
+        width = len(partition.replicas)
+        return [
+            ring[(index + width + i) % len(ring)]
+            for i in range(len(ring) - width)
+            if ring[(index + width + i) % len(ring)] not in partition.replicas
+        ]
 
     def promote(self, tenant: str, index: int, new_primary: str) -> None:
         """Fail a partition over: reorder its replica chain so

@@ -326,6 +326,36 @@ class StorageNode:
             tr.span("repl", "node", self.name, tenant, started, self.sim.now, trace=trace)
         self.tracker.note_request(tenant, RequestClass.PUT, size)
 
+    def read_replica(self, tenant: str, key: int, trace: Optional[int] = None):
+        """Serve a replica-local read for another coordinator's quorum
+        read (leaderless mode).
+
+        Runs the full engine read path — the IO is real and charged to
+        the tenant as GET work, so quorum reads at consistency R cost R
+        replica reads in Libra's currency — but is counted under
+        ``repl_reads`` rather than app-level ``gets``: the coordinator
+        counts the application request exactly once.
+        """
+        self._descriptor(tenant)
+        started = self.sim.now
+        trace = self._new_trace(trace)
+        size = yield from self._execute(
+            tenant,
+            lambda: self.engines[tenant].get(
+                key, tag=IoTag(tenant, RequestClass.GET, trace=trace)
+            ),
+        )
+        self.request_stats[tenant].note("repl_read", size or 1024)
+        self.latencies[tenant].record("repl_read", self.sim.now - started)
+        tr = self.tracer
+        if tr is not None and tr.enabled:
+            tr.span(
+                "repl_read", "node", self.name, tenant, started, self.sim.now,
+                trace=trace,
+            )
+        self.tracker.note_request(tenant, RequestClass.GET, size or 1024)
+        return size
+
     # -- failure handling ------------------------------------------------------
 
     def _execute(self, tenant: str, attempt_factory):

@@ -100,6 +100,10 @@ class RequestStats:
     # while the backup's VOP load stays visible in its own accounting.
     repl_applies: int = 0
     repl_units: float = 0.0
+    #: replica-local reads served for another coordinator's quorum read
+    #: (leaderless mode) — engine IO charged here, app-level ``gets``
+    #: counted once on the coordinator
+    repl_reads: int = 0
     # Failure handling (see repro.faults): transparent retry attempts,
     # per-attempt timeout expiries, permanent failures surfaced to the
     # application, engine crashes, and requests that waited out a crash.
@@ -114,7 +118,7 @@ class RequestStats:
     #: break loudly here instead of silently corrupting an aggregate
     FIELDS = (
         "gets", "puts", "deletes", "get_units", "put_units", "cache_hits",
-        "repl_applies", "repl_units",
+        "repl_applies", "repl_units", "repl_reads",
         "retries", "timeouts", "errors", "crashes", "crash_waits",
     )
 
@@ -131,6 +135,8 @@ class RequestStats:
         elif kind == "repl":
             self.repl_applies += 1
             self.repl_units += units
+        elif kind == "repl_read":
+            self.repl_reads += 1
         else:  # pragma: no cover - defensive
             raise ValueError(f"unknown request kind {kind!r}")
 
