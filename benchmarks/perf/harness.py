@@ -5,10 +5,13 @@ Runs the kernel events/sec microbench (live kernel vs the frozen
 fig4 interference grid serial vs ``--jobs N`` — checking that the two
 renders are byte-identical — a replicated-cluster workload through
 the :mod:`repro.net` fabric (RPC round trips per second at RF=1 vs
-RF=2, plus the replication write-amplification overhead), and the
-tracing-overhead gate (a disabled :class:`repro.obs.Tracer` must cost
-the scheduler hot loop <= 2%, and a sample ``trace.json`` is exported
-for CI artifacts), then writes the numbers to ``BENCH_sim.json``.
+RF=2, plus the replication write-amplification overhead), the epoch
+fast-forward bench (steady-state hybrid-simulation throughput, gated
+on exact agreement with the event-by-event run and on the VOP audit
+reconciling), and the tracing-overhead gate (a disabled
+:class:`repro.obs.Tracer` must cost the scheduler hot loop <= 2%, and
+a sample ``trace.json`` is exported for CI artifacts), then writes the
+numbers to ``BENCH_sim.json``.
 That file is the tracked perf trajectory: each PR that touches the hot
 path regenerates it so regressions show up as a diff.
 
@@ -71,6 +74,7 @@ GATE_TOLERANCE = 0.20
 HEADLINE_METRICS = (
     ("kernel.events_per_sec", ("kernel", "events_per_sec")),
     ("scheduler.ops_per_sec", ("scheduler", "ops_per_sec")),
+    ("epoch.ops_per_sec", ("epoch", "ops_per_sec")),
 )
 
 
@@ -375,6 +379,74 @@ def _bench_obs(smoke: bool, trace_path: str) -> Dict[str, Any]:
     }
 
 
+def _bench_epoch(smoke: bool, profile: bool) -> Dict[str, Any]:
+    """Epoch fast-forward throughput on a steady-state workload.
+
+    Four read-only open-loop tenants under their allocations — the
+    whole horizon qualifies as one analytic epoch, so this measures the
+    fast-forward arrival loop itself (stream draws, bulk VOP credit,
+    analytic device accounting).  The recorded ``ops_per_sec`` is
+    best-of-N completed tasks per wall second with ``fast_forward=True``.
+
+    Two cross-checks ride along and gate the harness exit code:
+    an event-by-event run of the same seed must agree exactly on
+    tasks/ops/bytes (and on VOPs to float tolerance), and an audited
+    fast-forward run must reconcile at 1.0 with zero flags.
+    """
+    from repro.ssd import get_profile
+    from repro.workload import EpochTenantSpec, run_epoch_trial
+
+    horizon = 4.0 if smoke else 10.0
+    repeats = 2 if smoke else 3
+    device_profile = get_profile("intel320")
+    specs = [
+        EpochTenantSpec(name=f"t{i}", rate=2500.0, read_fraction=1.0)
+        for i in range(4)
+    ]
+
+    def one_ff():
+        return run_epoch_trial(
+            device_profile, specs, horizon=horizon, seed=7, fast_forward=True
+        )
+
+    best = _maybe_profiled(profile, "epoch fast-forward (steady read)", one_ff)
+    for _ in range(repeats - 1):
+        trial = one_ff()
+        if trial.tasks_per_wall_second > best.tasks_per_wall_second:
+            best = trial
+
+    des = run_epoch_trial(
+        device_profile, specs, horizon=horizon, seed=7, fast_forward=False
+    )
+    agreement_ok = (
+        des.total_tasks == best.total_tasks
+        and des.total_ops == best.total_ops
+        and des.total_bytes == best.total_bytes
+        and abs(des.total_vops - best.total_vops)
+        <= 1e-6 * max(des.total_vops, 1.0)
+    )
+    audited = run_epoch_trial(
+        device_profile, specs, horizon=min(horizon, 4.0), seed=7,
+        fast_forward=True, audit=True,
+    )
+    summary = audited.audit_summary
+    return {
+        "horizon_sim_seconds": horizon,
+        "repeats": repeats,
+        "tasks": best.total_tasks,
+        "wall_seconds": round(best.wall_seconds, 3),
+        "ops_per_sec": round(best.tasks_per_wall_second, 1),
+        "ff_fraction": round(best.ff_fraction, 4),
+        "des_wall_seconds": round(des.wall_seconds, 3),
+        "speedup_vs_des": round(des.wall_seconds / best.wall_seconds, 2)
+        if best.wall_seconds > 0
+        else 0.0,
+        "agreement_ok": agreement_ok,
+        "audit_reconciliation": round(summary["reconciliation"], 6),
+        "audit_ok": summary["ok"],
+    }
+
+
 def run_harness(
     jobs: int = 4, smoke: bool = False, profile: bool = False
 ) -> Dict[str, Any]:
@@ -440,6 +512,16 @@ def run_harness(
         file=sys.stderr,
     )
 
+    print("[perf] epoch fast-forward (steady-state hybrid sim)...", file=sys.stderr)
+    epoch = _bench_epoch(smoke=smoke, profile=profile)
+    print(
+        f"[perf]   {epoch['ops_per_sec']:.0f} ops/s fast-forwarded "
+        f"({epoch['speedup_vs_des']:.1f}x the event-by-event run), "
+        f"agreement={epoch['agreement_ok']}, "
+        f"audit recon {epoch['audit_reconciliation']:.4f}",
+        file=sys.stderr,
+    )
+
     print("[perf] tracing overhead (disabled tracer vs none)...", file=sys.stderr)
     obs = _bench_obs(smoke=smoke, trace_path=os.path.join(_REPO, "trace.json"))
     print(
@@ -461,6 +543,7 @@ def run_harness(
         "scheduler": scheduler,
         "grids": {"fig4": grid},
         "cluster": cluster,
+        "epoch": epoch,
         "obs": obs,
     }
 
@@ -502,6 +585,20 @@ def main(argv=None) -> int:
 
     if not results["grids"]["fig4"]["byte_identical"]:
         print("[perf] FAIL: parallel grid diverged from serial", file=sys.stderr)
+        return 1
+    if not results["epoch"]["agreement_ok"]:
+        print(
+            "[perf] FAIL: epoch fast-forward diverged from the "
+            "event-by-event run",
+            file=sys.stderr,
+        )
+        return 1
+    if not results["epoch"]["audit_ok"]:
+        print(
+            f"[perf] FAIL: epoch fast-forward audit flagged "
+            f"(reconciliation {results['epoch']['audit_reconciliation']:.4f})",
+            file=sys.stderr,
+        )
         return 1
     if not results["obs"]["disabled_overhead_ok"]:
         print(

@@ -32,7 +32,7 @@ Two paper-faithful details:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Deque, Dict, List, Optional
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 from collections import deque
 
 from ..sim import Event, Interrupt, Simulator
@@ -170,6 +170,13 @@ class LibraScheduler:
         #: called as (tag, kind, size, vop_cost) when a chunk's device op
         #: faults (the cost stays charged; see ``_complete``)
         self.fail_observer: Optional[Callable[[IoTag, OpKind, int, float], None]] = None
+        #: called as (tag, kind, chunk_size, n_chunks, vops) when an
+        #: epoch fast-forward credits completed work in bulk (the
+        #: audit's view of analytically accounted charges)
+        self.epoch_observer: Optional[Callable[[IoTag, OpKind, int, int, float], None]] = None
+        #: per-(kind, task size) chunk breakdown + VOP price, cached for
+        #: ``credit_epoch`` (the cost model is immutable per scheduler)
+        self._epoch_costs: Dict[Tuple[OpKind, int], List[Tuple[int, int, float]]] = {}
         #: optional repro.obs Tracer recording queue-wait/service spans
         self.tracer = tracer
         self._tenants: Dict[str, _TenantState] = {}
@@ -291,6 +298,64 @@ class LibraScheduler:
             pos += length
         self._pump()
         return done
+
+    # -- epoch fast-forward (bulk analytic accounting) ---------------------------
+
+    def credit_epoch(self, tag: IoTag, kind: OpKind, size: int) -> float:
+        """Account one completed task analytically; returns VOPs charged.
+
+        The epoch fast-forward path (:mod:`repro.workload.epoch`)
+        bypasses ``_submit``/``_dispatch``/``_complete`` during quiet
+        steady-state epochs and books each task's effects here in one
+        call: the same chunk split, the same per-chunk VOP price, and
+        the same :class:`TenantUsage` counter increments the
+        event-driven path would have produced.  ``epoch_observer``
+        receives one ``(tag, kind, chunk_size, n_chunks, vops)`` call
+        per distinct chunk size so the audit can reconcile bulk charges
+        against an independent re-pricing.
+
+        Valid only while the tenant has no queued or in-flight work —
+        deficit counters are deliberately untouched, which is exact for
+        a quiet epoch: DDRR is work-conserving, so with empty queues the
+        deficit state carries no scheduling information.
+        """
+        state = self._state(tag.tenant)
+        key = (kind, size)
+        parts = self._epoch_costs.get(key)
+        if parts is None:
+            chunk_size = self.config.chunk_size
+            split: List[List[int]] = []
+            pos = 0
+            while pos < size:
+                length = min(chunk_size, size - pos)
+                pos += length
+                if split and split[-1][0] == length:
+                    split[-1][1] += 1
+                else:
+                    split.append([length, 1])
+            parts = [
+                (length, n, self.cost_model.cost(kind, length))
+                for length, n in split
+            ]
+            self._epoch_costs[key] = parts
+        usage = state.usage
+        observer = self.epoch_observer
+        total = 0.0
+        is_read = kind == OpKind.READ
+        for length, n, cost in parts:
+            vops = cost * n
+            total += vops
+            usage.ops += n
+            usage.bytes += length * n
+            if is_read:
+                usage.read_ops += n
+            else:
+                usage.write_ops += n
+            usage.vops += vops
+            if observer is not None:
+                observer(tag, kind, length, n, vops)
+        usage.tasks += 1
+        return total
 
     # -- scheduling core -----------------------------------------------------------
 

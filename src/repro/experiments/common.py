@@ -10,6 +10,7 @@ mix ratios) at longer windows.
 from __future__ import annotations
 
 import multiprocessing
+import os
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, TypeVar
 
@@ -107,6 +108,21 @@ def derive_seed(seed: int, index: int) -> int:
     return (x ^ (x >> 16)) & 0x7FFFFFFF
 
 
+def _effective_jobs(jobs: Optional[int], n_items: int) -> int:
+    """Worker count after clamping to the work and the machine.
+
+    Requesting more workers than the host has CPUs never helps a
+    CPU-bound grid — the workers time-slice one another and the fork /
+    IPC overhead is pure loss (``--jobs 4`` on a 1-CPU container
+    benchmarked *slower* than serial).  The clamp is
+    ``min(jobs, n_items, os.cpu_count())``; a result of ≤ 1 falls back
+    to the plain serial loop.
+    """
+    if jobs is None or jobs <= 1:
+        return 1
+    return min(jobs, n_items, os.cpu_count() or 1)
+
+
 def parallel_map(fn: Callable[[_T], _R], items: Sequence[_T], jobs: int = 1) -> List[_R]:
     """Ordered map over independent work units, optionally multiprocess.
 
@@ -119,16 +135,19 @@ def parallel_map(fn: Callable[[_T], _R], items: Sequence[_T], jobs: int = 1) -> 
       order (``Pool.map`` preserves it), so the merged output — and the
       rendered report — is byte-identical to a ``jobs=1`` run.
 
-    ``jobs <= 1`` short-circuits to a plain in-process loop: the serial
-    path stays free of multiprocessing overhead and import-time side
-    effects, and is the reference the parallel path is tested against.
+    ``jobs`` is clamped to the item count and the host's CPU count
+    (:func:`_effective_jobs`); an effective count of 1 short-circuits to
+    a plain in-process loop, so the serial path stays free of
+    multiprocessing overhead and import-time side effects, and is the
+    reference the parallel path is tested against.
     """
     items = list(items)
-    if jobs is None or jobs <= 1 or len(items) <= 1:
+    effective = _effective_jobs(jobs, len(items))
+    if effective <= 1:
         return [fn(item) for item in items]
     # Prefer fork (cheap, inherits the loaded modules); fall back to the
     # platform default (spawn) where fork is unavailable.
     methods = multiprocessing.get_all_start_methods()
     ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
-    with ctx.Pool(processes=min(jobs, len(items))) as pool:
+    with ctx.Pool(processes=effective) as pool:
         return pool.map(fn, items)

@@ -1,0 +1,243 @@
+"""Hybrid-simulation capstone: epoch fast-forward and the fitted surrogate.
+
+Not a figure from the paper — the provisioning-study machinery this
+repo adds on top of it, exercised end to end in two parts:
+
+**Part A — fast-forward agreement and speedup.**  Three open-loop
+multi-tenant scenarios run twice each: pure event-by-event DES and
+hybrid fast-forward (:func:`repro.workload.run_epoch_trial` with
+``fast_forward=True``), same seed.
+
+- *steady-read*: four read-only tenants well under their allocations —
+  the whole horizon fast-forwards in one epoch;
+- *mixed-gc*: 10% writes age the FTL until the GC low watermark trips —
+  the monitor must hand control back to the DES mid-run;
+- *rate-change*: a control-plane rate change lands mid-horizon — an
+  epoch edge, not a fallback.
+
+For each scenario the table reports task/VOP/byte agreement (exact by
+construction — both modes pull identical arrival streams), the wall
+times, the speedup, the fraction of simulated time covered
+analytically, and the attached VOP audit's reconciliation ratio
+(1.0000 in fast-forward epochs by construction).
+
+**Part B — sweeping on the surrogate.**  The fitted surrogate device
+(:class:`~repro.ssd.SurrogateDevice`) replaces the structural SSD in a
+raw-IO sweep over cost models × tenant counts, one
+:class:`~repro.workload.DeviceEnv` per grid cell, fanned out with
+:func:`~repro.experiments.common.parallel_map`.  The sweep is the
+surrogate's use case: wide grids where per-op structural fidelity
+matters less than the latency distribution, at a fraction of the
+structural model's wall time (no FTL, no preconditioning).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..analysis.report import format_table
+from ..core.vop import COST_MODEL_NAMES
+from ..ssd import get_profile
+from ..workload import (
+    EpochTenantSpec,
+    RateChange,
+    TenantSpec,
+    run_epoch_trial,
+)
+from ..workload.iobench import DeviceEnv, run_raw_trial
+from .common import derive_seed, parallel_map
+
+__all__ = ["run", "render", "EpochFigResult"]
+
+#: Part B tenant counts
+SWEEP_TENANTS = (2, 4, 8)
+
+
+@dataclass
+class ScenarioRow:
+    name: str
+    tasks_des: int
+    tasks_ff: int
+    vops_des: float
+    vops_ff: float
+    bytes_agree: bool
+    wall_des: float
+    wall_ff: float
+    ff_fraction: float
+    segments: int
+    reconciliation: float
+    audit_ok: bool
+
+    @property
+    def speedup(self) -> float:
+        return self.wall_des / self.wall_ff if self.wall_ff > 0 else float("inf")
+
+    @property
+    def agree(self) -> bool:
+        return (
+            self.tasks_des == self.tasks_ff
+            and self.bytes_agree
+            and abs(self.vops_des - self.vops_ff) <= 1e-6 * max(self.vops_des, 1.0)
+        )
+
+
+@dataclass
+class EpochFigResult:
+    profile: str
+    mode: str
+    scenarios: List[ScenarioRow]
+    #: (model, n_tenants) -> {iops, vops, wall}
+    sweep: Dict[tuple, Dict[str, float]]
+    sweep_duration: float
+
+
+def _scenarios(profile_name: str, horizon: float):
+    read_only = [
+        EpochTenantSpec(name=f"t{i}", rate=2500.0, read_fraction=1.0)
+        for i in range(4)
+    ]
+    mixed = [
+        EpochTenantSpec(name=f"t{i}", rate=2500.0, read_fraction=0.5)
+        for i in range(4)
+    ]
+    changing = [
+        EpochTenantSpec(name=f"t{i}", rate=1500.0, read_fraction=1.0)
+        for i in range(4)
+    ]
+    return [
+        ("steady-read", read_only, horizon, ()),
+        ("mixed-gc", mixed, horizon, ()),
+        (
+            "rate-change",
+            changing,
+            horizon,
+            (RateChange(at=horizon / 2, tenant="t0", rate=4500.0),),
+        ),
+    ]
+
+
+def _run_scenario(profile, name, specs, horizon, changes, seed) -> ScenarioRow:
+    des = run_epoch_trial(
+        profile, specs, horizon=horizon, seed=seed,
+        fast_forward=False, rate_changes=changes, audit=True,
+    )
+    ff = run_epoch_trial(
+        profile, specs, horizon=horizon, seed=seed,
+        fast_forward=True, rate_changes=changes, audit=True,
+    )
+    return ScenarioRow(
+        name=name,
+        tasks_des=des.total_tasks,
+        tasks_ff=ff.total_tasks,
+        vops_des=des.total_vops,
+        vops_ff=ff.total_vops,
+        bytes_agree=des.total_bytes == ff.total_bytes,
+        wall_des=des.wall_seconds,
+        wall_ff=ff.wall_seconds,
+        ff_fraction=ff.ff_fraction,
+        segments=len(ff.segments),
+        reconciliation=ff.audit_summary["reconciliation"],
+        audit_ok=ff.audit_summary["ok"] and des.audit_summary["ok"],
+    )
+
+
+# -- Part B: one grid cell (module-level for pickling) ----------------------
+
+
+def _sweep_cell(item):
+    profile_name, model_name, n_tenants, duration, warmup, seed = item
+    profile = get_profile(profile_name)
+    env = DeviceEnv(profile, seed=seed, device="surrogate")
+    specs = [
+        TenantSpec(name=f"t{i}", read_fraction=0.5, workers=4)
+        for i in range(n_tenants)
+    ]
+    trial = run_raw_trial(
+        profile, specs, duration=duration, warmup=warmup,
+        seed=seed, cost_model=model_name, env=env,
+    )
+    return {
+        "iops": trial.total_iops_per_sec,
+        "vops": trial.total_vops_per_sec,
+    }
+
+
+def run(
+    quick: bool = True,
+    profile_name: str = "intel320",
+    seed: int = 7,
+    jobs: int = 1,
+) -> EpochFigResult:
+    """Run both parts (Part B's grid fans out over ``jobs`` workers)."""
+    profile = get_profile(profile_name)
+    horizon = 4.0 if quick else 12.0
+    duration = 0.3 if quick else 0.6
+    warmup = 0.1 if quick else 0.2
+
+    scenarios = [
+        _run_scenario(profile, name, specs, h, changes, seed)
+        for name, specs, h, changes in _scenarios(profile_name, horizon)
+    ]
+
+    items = [
+        (profile_name, model, n, duration, warmup, derive_seed(seed, i))
+        for i, (model, n) in enumerate(
+            (m, n) for m in COST_MODEL_NAMES for n in SWEEP_TENANTS
+        )
+    ]
+    cells = parallel_map(_sweep_cell, items, jobs=jobs)
+    sweep = {
+        (item[1], item[2]): cell for item, cell in zip(items, cells)
+    }
+    return EpochFigResult(
+        profile=profile_name,
+        mode="quick" if quick else "full",
+        scenarios=scenarios,
+        sweep=sweep,
+        sweep_duration=duration,
+    )
+
+
+def render(result: EpochFigResult) -> str:
+    parts = [
+        f"epochfig — hybrid simulation on {result.profile} ({result.mode} mode)",
+        "",
+        format_table(
+            ["scenario", "tasks", "agree", "ff%", "segs",
+             "wall des", "wall ff", "speedup", "recon", "audit"],
+            [
+                [
+                    row.name,
+                    row.tasks_ff,
+                    "yes" if row.agree else "NO",
+                    f"{row.ff_fraction * 100:.1f}",
+                    row.segments,
+                    f"{row.wall_des:.2f}s",
+                    f"{row.wall_ff:.2f}s",
+                    f"{row.speedup:.1f}x",
+                    f"{row.reconciliation:.4f}",
+                    "ok" if row.audit_ok else "FLAGGED",
+                ]
+                for row in result.scenarios
+            ],
+            title="Part A — DES vs fast-forward (same seed, shared arrival streams)",
+        ),
+        "",
+        format_table(
+            ["model"] + [f"{n} tenants" for n in SWEEP_TENANTS],
+            [
+                [model]
+                + [
+                    f"{result.sweep[(model, n)]['vops'] / 1e3:.1f}k vop/s"
+                    for n in SWEEP_TENANTS
+                ]
+                for model in COST_MODEL_NAMES
+            ],
+            title=(
+                "Part B — surrogate-device sweep (cost model × tenants, "
+                f"{result.sweep_duration:.1f}s windows)"
+            ),
+        ),
+    ]
+    return "\n".join(parts)

@@ -125,6 +125,8 @@ class VopAudit:
         scheduler.dispatch_observer = _chain(scheduler.dispatch_observer, self.note_dispatch)
         scheduler.io_observer = _chain(scheduler.io_observer, self.note_complete)
         scheduler.fail_observer = _chain(scheduler.fail_observer, self.note_failed)
+        if hasattr(scheduler, "epoch_observer"):
+            scheduler.epoch_observer = _chain(scheduler.epoch_observer, self.note_epoch)
         if device is not None:
             self._device = device
             device.op_observer = _chain(device.op_observer, self.note_device_op)
@@ -155,6 +157,35 @@ class VopAudit:
         """Price one device-observed op (``kind`` is ``"read"``/``"write"``)."""
         self.device_vops += self.cost_model.cost(OpKind(kind), size)
         self.device_ops += 1
+
+    def note_epoch(self, tag: IoTag, kind: OpKind, size: int, ops: int, vops: float) -> None:
+        """Absorb a bulk epoch fast-forward charge into every stream.
+
+        Fast-forwarded chunks never pass through dispatch/completion or
+        the device's op observer, so one call feeds all three streams:
+        the scheduler side takes the charged value as both dispatch and
+        completion, while the re-priced and device-side streams price
+        ``ops`` chunks of ``size`` independently through the audit's own
+        cost model.  A runner that credited with a different (or
+        doubly-applied) price therefore still trips the single-evaluation
+        and reconciliation checks — fast-forward mode reconciles at
+        1.0000 only when its analytic charges match the model exactly.
+        """
+        self.charged += vops
+        self.dispatched_ops += ops
+        self.serviced += vops
+        self.completed_ops += ops
+        repriced = self.cost_model.cost(kind, size) * ops
+        self.recomputed += repriced
+        self.device_vops += repriced
+        self.device_ops += ops
+        key = (tag.tenant, tag.request, tag.internal)
+        entry = self.ledger.get(key)
+        if entry is None:
+            entry = self.ledger[key] = LedgerEntry()
+        entry.ops += ops
+        entry.bytes += size * ops
+        entry.vops += vops
 
     # -- derived state -----------------------------------------------------
 

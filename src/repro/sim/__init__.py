@@ -16,6 +16,7 @@ from .core import (
     Simulator,
     Timeout,
 )
+from .fluid import SteadyStateMonitor
 from .resources import Store
 from .sync import Condition, Mutex, Semaphore
 
@@ -31,6 +32,7 @@ __all__ = [
     "Semaphore",
     "SimulationError",
     "Simulator",
+    "SteadyStateMonitor",
     "Store",
     "Timeout",
 ]

@@ -451,6 +451,25 @@ class Simulator:
         fn(arg)
         return True
 
+    def step_while(self, predicate: Callable[[], bool]) -> int:
+        """Step queued actions while ``predicate()`` holds; returns steps.
+
+        Drains exactly as much of the queue as a condition needs — e.g.
+        "run until the scheduler backlog and device in-flight count hit
+        zero" — without committing to a wall of simulated time the way
+        ``run(until=now + slack)`` does.  Stops when the predicate goes
+        false or the queue empties, whichever is first.
+        """
+        steps = 0
+        heap = self._heap
+        pop = heapq.heappop
+        while heap and predicate():
+            at, _seq, fn, arg = pop(heap)
+            self.now = at
+            fn(arg)
+            steps += 1
+        return steps
+
     @property
     def queue_size(self) -> int:
         """Number of pending queued actions (diagnostics only)."""

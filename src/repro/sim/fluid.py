@@ -1,0 +1,144 @@
+"""Steady-state detection for hybrid analytic/DES simulation.
+
+A DES run spends most of its events on quiet stretches: every tenant's
+queue is empty, the device is idle, no fault window is open, and the
+offered load is comfortably under the provisioned VOP capacity.  During
+such an *epoch* the system is memoryless — each op arrives, is charged,
+is serviced, and completes before the next one — so its aggregate
+effect (completions, VOP charges, byte counters, latency mass) can be
+computed analytically instead of event-by-event.
+
+:class:`SteadyStateMonitor` is the gatekeeper.  It never mutates the
+simulation; it only answers two questions for the epoch runner
+(:func:`repro.workload.epoch.run_epoch_trial`):
+
+- :meth:`eligible` — is the system quiet *right now*, and is the
+  offered demand low enough that queues provably stay empty?
+- :meth:`next_epoch` — how far can simulated time jump before the next
+  "interesting" edge (fault-window start/end, scheduled rate change,
+  projected GC watermark crossing, end of horizon)?
+
+Every rejection carries a human-readable reason so trials can report
+why they fell back to event-by-event mode.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Tuple
+
+__all__ = ["SteadyStateMonitor"]
+
+
+class SteadyStateMonitor:
+    """Decides when the DES may fast-forward through a quiet epoch.
+
+    Parameters
+    ----------
+    sim:
+        The :class:`~repro.sim.core.Simulator` whose clock gates the
+        decision.
+    scheduler:
+        The :class:`~repro.core.scheduler.LibraScheduler`; its backlog
+        must be zero for an epoch to start.
+    device:
+        The device under the scheduler.  Structural SSDs expose
+        ``gc_running`` and an ``ftl`` with watermarks; surrogate
+        devices may omit both (``getattr`` guards below).
+    fault_plan:
+        Optional :class:`~repro.faults.plan.FaultPlan`.  Epochs never
+        span a window edge and never start inside a window.
+    headroom:
+        Fraction of the cost model's ``max_iop`` the offered demand may
+        reach before the analytic model is distrusted (queues only
+        provably stay empty when arrivals are slower than service).
+    """
+
+    def __init__(
+        self,
+        sim,
+        scheduler,
+        device,
+        fault_plan=None,
+        headroom: float = 0.85,
+    ):
+        if not 0 < headroom <= 1:
+            raise ValueError(f"headroom {headroom} not in (0, 1]")
+        self.sim = sim
+        self.scheduler = scheduler
+        self.device = device
+        self.fault_plan = fault_plan
+        self.headroom = headroom
+        self.max_vops_per_sec = float(scheduler.cost_model.max_iop)
+
+    # -- eligibility -------------------------------------------------------
+
+    def eligible(self, demand_vops: float) -> Tuple[bool, str]:
+        """Is the system quiet enough to model analytically right now?
+
+        ``demand_vops`` is the offered load (VOPs/sec summed over all
+        tenants) for the prospective epoch.  Returns ``(ok, reason)``
+        where ``reason`` names the first disqualifier (or ``"steady"``).
+        """
+        if self.scheduler.backlog > 0:
+            return False, "backlog"
+        if self.device.in_flight > 0:
+            return False, "inflight"
+        if getattr(self.device, "gc_running", False):
+            return False, "gc"
+        ftl = getattr(self.device, "ftl", None)
+        if ftl is not None and (ftl.gc_needed or ftl.host_starved):
+            return False, "gc"
+        plan = self.fault_plan
+        if plan is not None and not plan.quiescent(self.sim.now):
+            return False, "fault"
+        if demand_vops > self.headroom * self.max_vops_per_sec:
+            return False, "overload"
+        return True, "steady"
+
+    # -- horizon -----------------------------------------------------------
+
+    def next_epoch(
+        self,
+        demand_vops: float,
+        until: float,
+        extra_edges: Sequence[float] = (),
+        write_page_rate: float = 0.0,
+        min_epoch: float = 0.0,
+    ) -> Tuple[Optional[float], str]:
+        """Farthest time the clock may jump in one analytic step.
+
+        The edge is the earliest of: ``until`` (end of horizon), the
+        next fault-window boundary, any caller-supplied edge (rate
+        changes, control-plane events), and — when the epoch writes at
+        ``write_page_rate`` FTL pages/sec — the projected time the GC
+        low watermark is crossed.  Epochs shorter than ``min_epoch``
+        are refused (reason ``"short"``): jumping a few milliseconds
+        costs more bookkeeping than it saves.
+
+        Returns ``(edge, reason)``; ``edge`` is ``None`` when no
+        worthwhile jump exists and ``reason`` explains why.
+        """
+        now = self.sim.now
+        ok, reason = self.eligible(demand_vops)
+        if not ok:
+            return None, reason
+        edge = until
+        reason = "horizon"
+        plan = self.fault_plan
+        if plan is not None:
+            fault_edge = plan.next_edge(now)
+            if fault_edge < edge:
+                edge, reason = fault_edge, "fault-edge"
+        for extra in extra_edges:
+            if now < extra < edge:
+                edge, reason = extra, "event"
+        if write_page_rate > 0.0:
+            ftl = getattr(self.device, "ftl", None)
+            if ftl is not None:
+                gc_at = now + ftl.gc_spare_pages / write_page_rate
+                if gc_at < edge:
+                    edge, reason = gc_at, "gc-horizon"
+        if not math.isfinite(edge) or edge - now < min_epoch:
+            return None, "short"
+        return edge, reason

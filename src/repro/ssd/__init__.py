@@ -5,6 +5,7 @@ from .filesystem import IoBackend, OutOfSpace, RawBackend, SimFile, SimFilesyste
 from .ftl import Ftl, GcMove, WritePlan
 from .profiles import PROFILES, SsdProfile, get_profile, intel320, oczvector, samsung840
 from .stats import SsdStats
+from .surrogate import SurrogateDevice, SurrogateModel, fit_surrogate
 
 __all__ = [
     "Ftl",
@@ -18,6 +19,9 @@ __all__ = [
     "SsdDevice",
     "SsdProfile",
     "SsdStats",
+    "SurrogateDevice",
+    "SurrogateModel",
+    "fit_surrogate",
     "WritePlan",
     "get_profile",
     "intel320",

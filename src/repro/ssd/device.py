@@ -123,6 +123,11 @@ class SsdDevice:
         """Currently outstanding host ops."""
         return self.profile.queue_depth - self._ncq.value
 
+    @property
+    def gc_running(self) -> bool:
+        """True while the background GC loop owns channel time."""
+        return self._gc_running
+
     def read(self, offset: int, size: int, ctx=None) -> Event:
         """Submit a read; the returned event triggers on completion.
 
@@ -175,6 +180,74 @@ class SsdDevice:
         """Invalidate a logical range (instant, as TRIM effectively is)."""
         self.ftl.trim(offset, size)
         self.stats.trims += 1
+
+    # -- epoch fast-forward (analytic accounting, no events) ----------------------
+    #
+    # During a quiet steady-state epoch the runner (repro.workload.epoch)
+    # skips the event loop entirely and accounts each op here: same
+    # stats counters and FTL mutations as the zero-coroutine fast path,
+    # but applied synchronously with no NCQ slot, no reservation
+    # timeline, and no completion action.  Valid only while the device
+    # is idle (nothing in flight, no GC), where an op's latency equals
+    # its own service time because every stage queue is empty.
+
+    def epoch_read(self, offset: int, size: int) -> float:
+        """Account one quiet-epoch read; returns its idle-device latency."""
+        profile = self.profile
+        stats = self.stats
+        latency = profile.ctrl_overhead_read + size * profile.ctrl_byte_cost
+        stats.controller_busy += latency
+        stats.reads += 1
+        stats.read_bytes += size
+        page = profile.page_size
+        byte_cost = profile.read_byte_cost
+        if (offset % page) + size <= page:
+            # Single-page read: one channel, transfer = requested bytes.
+            service = profile.read_access + size * byte_cost
+            stats.channel_busy += service
+            return latency + service
+        access = profile.read_access
+        longest = 0.0
+        for _chan, _pages, nbytes in self.ftl.read_channels(offset, size):
+            service = access + nbytes * byte_cost
+            stats.channel_busy += service
+            if service > longest:
+                longest = service
+        return latency + longest
+
+    def epoch_write(self, offset: int, size: int) -> float:
+        """Account one quiet-epoch write; returns its idle-device latency.
+
+        Applies the write to the FTL page map exactly as the event-driven
+        path would, so GC-onset timing stays faithful across an epoch —
+        the runner checks ``ftl.gc_needed`` after each analytic write and
+        falls back to event-by-event mode when the watermark crosses.
+        """
+        profile = self.profile
+        stats = self.stats
+        latency = profile.ctrl_overhead_write + size * profile.ctrl_byte_cost
+        stats.controller_busy += latency
+        prog = profile.prog_latency
+        page_cost = profile.page_size * profile.write_byte_cost
+        longest = 0.0
+        for _chan, pages in self.ftl.host_write(offset, size).programs:
+            service = prog + pages * page_cost
+            stats.channel_busy += service
+            if service > longest:
+                longest = service
+        stats.writes += 1
+        stats.write_bytes += size
+        return latency + longest
+
+    def maybe_collect(self) -> None:
+        """Start the background GC loop if the watermarks call for it.
+
+        Public poke for the epoch runner: it detects the watermark
+        crossing analytically (between events, where no write completion
+        exists to trigger GC) and kicks the loop after re-entering
+        event-by-event mode.
+        """
+        self._maybe_start_gc()
 
     # -- zero-coroutine fast path -------------------------------------------------
 

@@ -132,6 +132,19 @@ class Ftl:
         """
         return len(self.free_blocks) <= self._starve_blocks
 
+    @property
+    def gc_spare_pages(self) -> int:
+        """Upper bound on host pages writable before ``gc_needed`` flips.
+
+        Free blocks above the low watermark, in pages.  An estimate, not
+        a guarantee: host writes drain the pool one *active block* at a
+        time, so the true crossing also depends on per-channel fill
+        levels — callers that fast-forward must still re-check
+        ``gc_needed`` after every analytic write.
+        """
+        spare = len(self.free_blocks) - self._gc_low_blocks
+        return max(0, spare) * self.profile.pages_per_block
+
     # -- address helpers -----------------------------------------------------
 
     def _page_range(self, offset: int, size: int) -> range:

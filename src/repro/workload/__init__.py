@@ -10,6 +10,14 @@ from .distributions import (
     ZipfKeys,
     align,
 )
+from .epoch import (
+    EpochSegment,
+    EpochTenantResult,
+    EpochTenantSpec,
+    EpochTrialResult,
+    RateChange,
+    run_epoch_trial,
+)
 from .trace import Trace, TraceRecord, TraceRecorder, replay_trace
 from .iobench import (
     DeviceEnv,
@@ -24,7 +32,13 @@ from .iobench import (
 __all__ = [
     "BlockStream",
     "DeviceEnv",
+    "EpochSegment",
+    "EpochTenantResult",
+    "EpochTenantSpec",
+    "EpochTrialResult",
     "ExponentialArrivals",
+    "RateChange",
+    "run_epoch_trial",
     "FixedSize",
     "Uniform01",
     "LogNormalSize",

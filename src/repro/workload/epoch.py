@@ -1,0 +1,548 @@
+"""Hybrid analytic/DES trials: epoch fast-forward for quiet workloads.
+
+Provisioning studies sweep long, mostly-quiet horizons: open-loop
+tenants arrive below their VOP allocations, queues stay empty, and the
+DES burns its wall-clock replaying millions of structurally identical
+submit→dispatch→complete event chains.  This module runs the *same*
+trial under a hybrid regime:
+
+- the runner owns arrival generation in **both** modes, pulling every
+  tenant's inter-arrival gaps, op mix, sizes, and offsets from shared
+  per-tenant :class:`~repro.workload.distributions.BlockStream` objects
+  (one ``random.Random`` per stream, seeded from the trial seed), so a
+  fast-forwarded run consumes exactly the RNG draws an event-by-event
+  run would;
+- a :class:`~repro.sim.SteadyStateMonitor` grants an *epoch* whenever
+  the system is quiet (empty backlog, idle device, no GC, no fault
+  window, demand under the VOP headroom); the runner then processes
+  every arrival up to the next interesting edge analytically —
+  :meth:`~repro.core.scheduler.LibraScheduler.credit_epoch` books the
+  chunk-exact VOP charges and usage counters,
+  ``SsdDevice.epoch_read``/``epoch_write`` book idle-device latency and
+  byte/page effects (writes still go through the FTL page map, so GC
+  onset stays faithful), and the simulator clock jumps to the edge in
+  one ``run(until=edge)`` call;
+- anything interesting — a fault-window edge, a scheduled rate change,
+  a projected or actual GC watermark crossing — ends the epoch and the
+  trial re-enters event-by-event mode with identical scheduler, device,
+  and RNG state.
+
+``fast_forward=False`` (the default) drives the identical arrival
+sequence through the real scheduler, so the two modes agree exactly on
+task/op/byte counts and to float-summation order on VOPs — a property
+checked by ``tests/test_epoch.py``.  Latency histograms in fast-forward
+mode carry analytic idle-device service times, which is what the quiet
+epochs the monitor admits would have measured anyway.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..core.calibration import reference_calibration
+from ..core.scheduler import LibraScheduler, SchedulerConfig
+from ..core.tags import IoTag, OpKind, RequestClass
+from ..core.vop import CostModel, make_cost_model
+from ..experiments.common import derive_seed
+from ..obs.metrics import Histogram
+from ..sim import Simulator, SteadyStateMonitor
+from ..ssd import SsdDevice, SsdProfile
+from .distributions import BlockStream, ExponentialArrivals, FixedSize, LogNormalSize, Uniform01
+from .iobench import KIB
+
+import random
+
+__all__ = [
+    "EpochTenantSpec",
+    "RateChange",
+    "EpochSegment",
+    "EpochTenantResult",
+    "EpochTrialResult",
+    "run_epoch_trial",
+]
+
+#: RNG streams per tenant (gap, mix, read size, write size, offset)
+_STREAMS_PER_TENANT = 8
+
+
+@dataclass(frozen=True)
+class EpochTenantSpec:
+    """One open-loop tenant: Poisson arrivals at ``rate`` ops/sec."""
+
+    name: str
+    rate: float
+    read_fraction: float = 1.0
+    read_size: int = 4 * KIB
+    write_size: int = 4 * KIB
+    sigma: Optional[float] = None
+
+    def size_dist(self, kind: OpKind):
+        mean = self.read_size if kind == OpKind.READ else self.write_size
+        if self.sigma is None:
+            return FixedSize(mean)
+        return LogNormalSize(mean=mean, sigma=self.sigma)
+
+
+@dataclass(frozen=True)
+class RateChange:
+    """A control-plane event: ``tenant`` switches to ``rate`` at ``at``."""
+
+    at: float
+    tenant: str
+    rate: float
+
+
+@dataclass
+class EpochSegment:
+    """One contiguous stretch of the trial in a single mode."""
+
+    t0: float
+    t1: float
+    mode: str  # "ff" | "des"
+    reason: str
+    tasks: int = 0
+
+    @property
+    def span(self) -> float:
+        return self.t1 - self.t0
+
+
+@dataclass
+class EpochTenantResult:
+    """Per-tenant totals over the whole horizon (no warmup window)."""
+
+    spec: EpochTenantSpec
+    ops: int = 0
+    tasks: int = 0
+    read_ops: int = 0
+    write_ops: int = 0
+    bytes: int = 0
+    vops: float = 0.0
+    failed_ops: int = 0
+    allocation: float = 0.0
+    #: completion latency (seconds); analytic service times in FF epochs
+    latency: Histogram = field(default_factory=Histogram)
+
+    @property
+    def acked(self) -> int:
+        """Completions with a recorded latency (successful tasks)."""
+        return self.latency.count
+
+
+@dataclass
+class EpochTrialResult:
+    """Everything measured in one hybrid trial."""
+
+    horizon: float
+    tenants: Dict[str, EpochTenantResult]
+    segments: List[EpochSegment]
+    wall_seconds: float
+    ff_seconds: float = 0.0
+    ff_tasks: int = 0
+    des_tasks: int = 0
+    audit_summary: Optional[dict] = None
+
+    @property
+    def total_tasks(self) -> int:
+        return sum(t.tasks for t in self.tenants.values())
+
+    @property
+    def total_ops(self) -> int:
+        return sum(t.ops for t in self.tenants.values())
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(t.bytes for t in self.tenants.values())
+
+    @property
+    def total_vops(self) -> float:
+        return sum(t.vops for t in self.tenants.values())
+
+    @property
+    def ff_fraction(self) -> float:
+        """Share of simulated time covered analytically."""
+        return self.ff_seconds / self.horizon if self.horizon else 0.0
+
+    @property
+    def tasks_per_wall_second(self) -> float:
+        total = self.ff_tasks + self.des_tasks
+        return total / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+
+class _TenantStreams:
+    """A tenant's shared RNG streams plus its next pending arrival."""
+
+    __slots__ = ("spec", "tag", "rate", "gap", "mix", "rsize", "wsize",
+                 "uoff", "next_at", "result")
+
+    def __init__(self, spec: EpochTenantSpec, index: int, seed: int, t0: float):
+        def rng(k: int) -> random.Random:
+            return random.Random(derive_seed(seed, index * _STREAMS_PER_TENANT + k))
+
+        self.spec = spec
+        self.tag = IoTag(spec.name, RequestClass.RAW)
+        self.rate = spec.rate
+        self.gap = BlockStream(ExponentialArrivals(spec.rate), rng(0))
+        self.mix = BlockStream(Uniform01(), rng(1))
+        self.rsize = BlockStream(spec.size_dist(OpKind.READ), rng(2))
+        self.wsize = BlockStream(spec.size_dist(OpKind.WRITE), rng(3))
+        self.uoff = BlockStream(Uniform01(), rng(4))
+        self.next_at = t0 + self.gap.next()
+        self.result = EpochTenantResult(spec=spec)
+
+    def set_rate(self, rate: float) -> None:
+        """Apply a rate change: fresh gap distribution, same RNG.
+
+        The already-drawn pending arrival stands (it was generated under
+        the old rate, exactly as an event-driven pacing loop would have
+        it); only subsequent gaps use the new rate.  Reusing the stream's
+        ``random.Random`` keeps the draw sequence a pure function of
+        (seed, arrival history), so fast-forward and event-by-event runs
+        stay in lockstep across changes.
+        """
+        self.rate = rate
+        self.gap = BlockStream(ExponentialArrivals(rate), self.gap.rng)
+
+
+def _offset_for(u: float, capacity: int, size: int, page: int) -> int:
+    """Map one U[0,1) draw to a page-aligned offset (shared by both modes)."""
+    max_slot = (capacity - size) // page
+    if max_slot <= 0:
+        return 0
+    slot = int(u * max_slot)
+    if slot >= max_slot:
+        slot = max_slot - 1
+    return slot * page
+
+
+class _EpochRunner:
+    """Internal driver for one hybrid trial (see :func:`run_epoch_trial`)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        device: SsdDevice,
+        scheduler: LibraScheduler,
+        monitor: SteadyStateMonitor,
+        streams: List[_TenantStreams],
+        changes: List[RateChange],
+        fast_forward: bool,
+        min_epoch: float,
+        des_slice: float,
+    ):
+        self.sim = sim
+        self.device = device
+        self.scheduler = scheduler
+        self.monitor = monitor
+        self.streams = streams
+        self.changes = changes
+        self.fast_forward = fast_forward
+        self.min_epoch = min_epoch
+        self.des_slice = des_slice
+        self.by_name = {st.spec.name: st for st in streams}
+        self.segments: List[EpochSegment] = []
+        self.ff_seconds = 0.0
+        self.ff_tasks = 0
+        self.des_tasks = 0
+        self.page = device.profile.page_size
+        self.capacity = device.profile.logical_capacity
+        self.chunk = scheduler.config.chunk_size
+
+    # -- demand estimation -------------------------------------------------
+
+    def _task_cost(self, kind: OpKind, size: int) -> float:
+        model = self.scheduler.cost_model
+        total, pos = 0.0, 0
+        while pos < size:
+            length = min(self.chunk, size - pos)
+            total += model.cost(kind, length)
+            pos += length
+        return total
+
+    def demand_vops(self) -> float:
+        """Offered load (VOPs/sec) at the current rates, via mean sizes."""
+        total = 0.0
+        for st in self.streams:
+            spec = st.spec
+            rf = spec.read_fraction
+            total += st.rate * (
+                rf * self._task_cost(OpKind.READ, spec.read_size)
+                + (1.0 - rf) * self._task_cost(OpKind.WRITE, spec.write_size)
+            )
+        return total
+
+    def write_page_rate(self) -> float:
+        """Estimated FTL pages/sec written (for the GC-crossing horizon)."""
+        page = self.page
+        total = 0.0
+        for st in self.streams:
+            spec = st.spec
+            pages = max(1, -(-spec.write_size // page))
+            total += st.rate * (1.0 - spec.read_fraction) * pages
+        return total
+
+    # -- arrival selection -------------------------------------------------
+
+    def _earliest(self, before: float) -> Optional[_TenantStreams]:
+        """The tenant with the strictly-earliest pending arrival < before.
+
+        First minimum in registration order — the same deterministic
+        tie-break both modes use, so the global arrival sequence is
+        identical whether arrivals are replayed analytically or through
+        the simulator.
+        """
+        best = None
+        best_at = before
+        for st in self.streams:
+            if st.next_at < best_at:
+                best, best_at = st, st.next_at
+        return best
+
+    # -- event-by-event mode -----------------------------------------------
+
+    def _des_arrival(self, st: _TenantStreams, at: float) -> None:
+        spec = st.spec
+        if st.mix.next() < spec.read_fraction:
+            size = st.rsize.next()
+            offset = _offset_for(st.uoff.next(), self.capacity, size, self.page)
+            ev = self.scheduler.read(offset, size, tag=st.tag)
+        else:
+            size = st.wsize.next()
+            offset = _offset_for(st.uoff.next(), self.capacity, size, self.page)
+            ev = self.scheduler.write(offset, size, tag=st.tag)
+
+        def record(done, result=st.result, t0=at, sim=self.sim):
+            if done.ok:
+                result.latency.observe(sim.now - t0)
+
+        ev.callbacks.append(record)
+        st.next_at = at + st.gap.next()
+
+    def run_des(self, until: float) -> int:
+        """Replay arrivals < ``until`` through the simulator."""
+        sim = self.sim
+        tasks = 0
+        while True:
+            st = self._earliest(until)
+            if st is None:
+                break
+            at = st.next_at
+            sim.run(until=at)
+            self._des_arrival(st, at)
+            tasks += 1
+        sim.run(until=until)
+        return tasks
+
+    # -- fast-forward mode ---------------------------------------------------
+
+    def _ff_arrival(self, st: _TenantStreams) -> bool:
+        """Book one arrival analytically; True when the write tipped GC."""
+        spec = st.spec
+        device = self.device
+        chunk = self.chunk
+        is_read = st.mix.next() < spec.read_fraction
+        if is_read:
+            size = st.rsize.next()
+            kind = OpKind.READ
+        else:
+            size = st.wsize.next()
+            kind = OpKind.WRITE
+        offset = _offset_for(st.uoff.next(), self.capacity, size, self.page)
+        # Device accounting per chunk — what the dispatcher would issue.
+        # Chunks of one task run concurrently on an idle device, so task
+        # latency is the slowest chunk's analytic service time.
+        latency = 0.0
+        pos = 0
+        if is_read:
+            while pos < size:
+                length = min(chunk, size - pos)
+                lat = device.epoch_read(offset + pos, length)
+                if lat > latency:
+                    latency = lat
+                pos += length
+            gc = False
+        else:
+            while pos < size:
+                length = min(chunk, size - pos)
+                lat = device.epoch_write(offset + pos, length)
+                if lat > latency:
+                    latency = lat
+                pos += length
+            gc = device.ftl.gc_needed
+        self.scheduler.credit_epoch(st.tag, kind, size)
+        st.result.latency.observe(latency)
+        st.next_at += st.gap.next()
+        return gc
+
+    def run_ff(self, edge: float) -> tuple:
+        """Fast-forward to ``edge`` (or the GC onset, if a write tips it).
+
+        Returns ``(t1, tasks, gc_hit)``.  The clock advance itself is a
+        single ``sim.run(until=t1)`` — the only events it replays are
+        the scheduler's round-timeout ticks, which no-op while the
+        backlog is empty, so state on re-entry is exactly what an idle
+        event-by-event stretch would have left behind.
+        """
+        sim = self.sim
+        tasks = 0
+        gc_hit = False
+        t1 = edge
+        while True:
+            st = self._earliest(t1)
+            if st is None:
+                break
+            at = st.next_at
+            if self._ff_arrival(st):
+                # This write crossed the GC low watermark: close the
+                # epoch at its arrival time and let the event-driven
+                # mode take over with the collector running.
+                gc_hit = True
+                t1 = at
+                break
+            tasks += 1
+        if gc_hit:
+            tasks += 1
+        sim.run(until=t1)
+        if gc_hit:
+            self.device.maybe_collect()
+        return t1, tasks, gc_hit
+
+    # -- main loop -----------------------------------------------------------
+
+    def _segment(self, t0: float, t1: float, mode: str, reason: str, tasks: int) -> None:
+        last = self.segments[-1] if self.segments else None
+        if last is not None and last.mode == mode and last.t1 == t0:
+            last.t1 = t1
+            last.tasks += tasks
+            return
+        self.segments.append(EpochSegment(t0=t0, t1=t1, mode=mode, reason=reason, tasks=tasks))
+
+    def run(self, end: float) -> None:
+        sim = self.sim
+        changes = self.changes
+        ci = 0
+        while True:
+            now = sim.now
+            while ci < len(changes) and changes[ci].at <= now:
+                change = changes[ci]
+                self.by_name[change.tenant].set_rate(change.rate)
+                ci += 1
+            if now >= end:
+                break
+            next_change = changes[ci].at if ci < len(changes) else math.inf
+            edge = None
+            reason = "disabled"
+            if self.fast_forward:
+                edge, reason = self.monitor.next_epoch(
+                    self.demand_vops(),
+                    until=end,
+                    extra_edges=(next_change,),
+                    write_page_rate=self.write_page_rate(),
+                    min_epoch=self.min_epoch,
+                )
+            if edge is not None:
+                t1, tasks, gc_hit = self.run_ff(edge)
+                self.ff_seconds += t1 - now
+                self.ff_tasks += tasks
+                self._segment(now, t1, "ff", "gc" if gc_hit else reason, tasks)
+            else:
+                t1 = min(end, next_change, now + self.des_slice)
+                tasks = self.run_des(t1)
+                self.des_tasks += tasks
+                self._segment(now, t1, "des", reason, tasks)
+        # Drain: complete in-flight IO without committing to wall time.
+        sim.step_while(
+            lambda: self.scheduler.backlog > 0 or self.device.in_flight > 0
+        )
+
+
+def run_epoch_trial(
+    profile: SsdProfile,
+    specs: Sequence[EpochTenantSpec],
+    horizon: float,
+    seed: int = 7,
+    cost_model: Union[str, CostModel] = "exact",
+    fast_forward: bool = False,
+    rate_changes: Sequence[RateChange] = (),
+    fault_plan=None,
+    allocations: Optional[Dict[str, float]] = None,
+    scheduler_config: Optional[SchedulerConfig] = None,
+    min_epoch: float = 0.05,
+    des_slice: float = 0.05,
+    headroom: float = 0.85,
+    audit: bool = False,
+    device_seed: int = 11,
+) -> EpochTrialResult:
+    """Run one open-loop multi-tenant trial over ``horizon`` seconds.
+
+    With ``fast_forward=False`` (default) every arrival is replayed
+    through the simulator — an ordinary DES run.  With
+    ``fast_forward=True`` quiet epochs are computed analytically and
+    the clock jumps between interesting edges; counters agree with the
+    DES run exactly (see module docstring).  ``audit=True`` attaches a
+    :class:`~repro.obs.VopAudit` and stores its :meth:`summary` —
+    fast-forwarded charges reconcile at 1.0000 by construction.
+    """
+    if horizon <= 0:
+        raise ValueError(f"horizon must be positive, got {horizon}")
+    sim = Simulator()
+    device = SsdDevice(sim, profile, seed=device_seed, fault_plan=fault_plan)
+    if isinstance(cost_model, str):
+        cost_model = make_cost_model(cost_model, reference_calibration(profile.name))
+    scheduler = LibraScheduler(sim, device, cost_model, config=scheduler_config)
+    audit_obj = None
+    if audit:
+        from ..obs import VopAudit
+
+        audit_obj = VopAudit(cost_model)
+        audit_obj.attach(scheduler, device)
+    if allocations is None:
+        share = cost_model.max_iop / len(specs)
+        allocations = {spec.name: share for spec in specs}
+    for spec in specs:
+        scheduler.register_tenant(spec.name, allocations[spec.name])
+
+    t0 = sim.now
+    streams = [_TenantStreams(spec, i, seed, t0) for i, spec in enumerate(specs)]
+    monitor = SteadyStateMonitor(
+        sim, scheduler, device, fault_plan=fault_plan, headroom=headroom
+    )
+    runner = _EpochRunner(
+        sim, device, scheduler, monitor, streams,
+        sorted(rate_changes, key=lambda c: c.at), fast_forward,
+        min_epoch, des_slice,
+    )
+
+    wall0 = time.perf_counter()
+    runner.run(t0 + horizon)
+    scheduler.stop()
+    sim.run(until=sim.now + 0.05)
+    wall = time.perf_counter() - wall0
+
+    tenants: Dict[str, EpochTenantResult] = {}
+    for st in streams:
+        usage = scheduler.usage(st.spec.name)
+        result = st.result
+        result.ops = usage.ops
+        result.tasks = usage.tasks
+        result.read_ops = usage.read_ops
+        result.write_ops = usage.write_ops
+        result.bytes = usage.bytes
+        result.vops = usage.vops
+        result.failed_ops = usage.failed_ops
+        result.allocation = allocations[st.spec.name]
+        tenants[st.spec.name] = result
+
+    return EpochTrialResult(
+        horizon=horizon,
+        tenants=tenants,
+        segments=runner.segments,
+        wall_seconds=wall,
+        ff_seconds=runner.ff_seconds,
+        ff_tasks=runner.ff_tasks,
+        des_tasks=runner.des_tasks,
+        audit_summary=audit_obj.summary(sim.now) if audit_obj is not None else None,
+    )

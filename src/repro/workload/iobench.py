@@ -106,12 +106,25 @@ class DeviceEnv:
     Re-preconditioning a device per grid point dominates wall time;
     sweeps instead reuse one aged device and run trials back to back,
     exactly like benchmarking a single physical drive.
+
+    ``device="surrogate"`` swaps in the fitted statistical device
+    (:class:`~repro.ssd.SurrogateDevice`) — no FTL, no preconditioning,
+    latencies sampled from the committed surrogate artifact — for
+    sweeps where distribution shape matters more than structural
+    fidelity.
     """
 
-    def __init__(self, profile: SsdProfile, seed: int = 11):
+    def __init__(self, profile: SsdProfile, seed: int = 11, device: str = "ssd"):
         self.profile = profile
         self.sim = Simulator()
-        self.device = SsdDevice(self.sim, profile, seed=seed)
+        if device == "ssd":
+            self.device = SsdDevice(self.sim, profile, seed=seed)
+        elif device == "surrogate":
+            from ..ssd.surrogate import SurrogateDevice
+
+            self.device = SurrogateDevice(self.sim, profile, seed=seed)
+        else:
+            raise ValueError(f"unknown device kind {device!r} (ssd|surrogate)")
 
 
 def run_raw_trial(

@@ -12,18 +12,20 @@ if _BENCH not in sys.path:
 from perf.harness import append_history, check_regression  # noqa: E402
 
 
-def results(kernel=500_000.0, sched=40_000.0):
+def results(kernel=500_000.0, sched=40_000.0, epoch=250_000.0):
     return {
         "kernel": {"events_per_sec": kernel},
         "scheduler": {"ops_per_sec": sched},
+        "epoch": {"ops_per_sec": epoch},
     }
 
 
-def write_baseline(path, kernel=500_000.0, sched=40_000.0):
+def write_baseline(path, kernel=500_000.0, sched=40_000.0, epoch=250_000.0):
     payload = {
         "smoke": {
             "kernel.events_per_sec": kernel,
             "scheduler.ops_per_sec": sched,
+            "epoch.ops_per_sec": epoch,
         }
     }
     path.write_text(json.dumps(payload))

@@ -254,3 +254,31 @@ def test_fig4_parallel_render_is_byte_identical():
     # And a repeated serial run reproduces itself exactly.
     again = fig4.run(quick=True, seed=7, jobs=1, mode=TINY)
     assert fig4.render(serial) == fig4.render(again)
+
+def test_effective_jobs_clamps_to_cpus_and_work(monkeypatch):
+    from repro.experiments import common
+
+    monkeypatch.setattr(common.os, "cpu_count", lambda: 4)
+    assert common._effective_jobs(None, 100) == 1
+    assert common._effective_jobs(1, 100) == 1
+    assert common._effective_jobs(0, 100) == 1
+    assert common._effective_jobs(3, 100) == 3
+    assert common._effective_jobs(16, 100) == 4  # clamped to CPUs
+    assert common._effective_jobs(16, 2) == 2  # clamped to work
+    # cpu_count() may return None; the clamp must not crash on it.
+    monkeypatch.setattr(common.os, "cpu_count", lambda: None)
+    assert common._effective_jobs(8, 100) == 1
+
+
+def test_parallel_map_falls_back_to_serial_on_one_cpu(monkeypatch):
+    """On a 1-CPU host, --jobs N must not fork a pool at all."""
+    from repro.experiments import common
+
+    monkeypatch.setattr(common.os, "cpu_count", lambda: 1)
+
+    def _no_pool(*args, **kwargs):
+        raise AssertionError("worker pool created despite 1-CPU clamp")
+
+    monkeypatch.setattr(common.multiprocessing, "get_context", _no_pool)
+    items = list(range(10))
+    assert parallel_map(_square, items, jobs=4) == [x * x for x in items]

@@ -1,0 +1,148 @@
+"""Fitted device surrogate: artifact, model, and duck-typed device.
+
+The committed ``surrogate_intel320.json`` artifact is a quantile
+regression fitted offline from the structural SSD model; these tests
+pin its schema, the model's sampling invariants (monotone curves,
+bounded samples, seed determinism), the :class:`SurrogateDevice`'s
+drop-in compatibility with the scheduler/workload stack, and a tiny
+in-process refit to keep :func:`fit_surrogate` itself exercised.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.core.tags import OpKind
+from repro.sim import Simulator
+from repro.ssd import SurrogateDevice, SurrogateModel, get_profile
+from repro.ssd.surrogate import (
+    FIT_DEPTHS,
+    FIT_MIXES,
+    FIT_QUANTILES,
+    FIT_SIZES,
+    default_artifact_path,
+    fit_surrogate,
+)
+from repro.workload.iobench import DeviceEnv, TenantSpec, run_raw_trial
+
+KIB = 1024
+PROFILE = get_profile("intel320")
+
+
+# ---------------------------------------------------------------------------
+# The committed artifact
+# ---------------------------------------------------------------------------
+
+
+def test_committed_artifact_schema():
+    with open(default_artifact_path("intel320")) as fh:
+        artifact = json.load(fh)
+    assert artifact["profile"] == "intel320"
+    assert tuple(artifact["quantiles"]) == FIT_QUANTILES
+    for kind in ("read", "write"):
+        coef = artifact["coef"][kind]
+        assert len(coef) == len(FIT_QUANTILES)
+        assert all(len(row) == len(artifact["features"]) for row in coef)
+        assert all(err >= 0.0 for err in artifact["fit_error"][kind])
+    grid = artifact["grid"]
+    assert tuple(grid["sizes"]) == FIT_SIZES
+    assert tuple(grid["depths"]) == FIT_DEPTHS
+    assert tuple(grid["mixes"]) == FIT_MIXES
+
+
+def test_model_loads_and_curves_are_monotone_positive():
+    model = SurrogateModel.load("intel320")
+    for kind in (OpKind.READ, OpKind.WRITE):
+        for size in (4 * KIB, 64 * KIB, 256 * KIB):
+            for qd in (1, 8, 64):
+                curve = model.curve(kind, size, qd, 0.5)
+                assert len(curve) == len(FIT_QUANTILES)
+                assert curve[0] > 0.0
+                assert all(b >= a for a, b in zip(curve, curve[1:]))
+
+
+def test_model_latency_trends():
+    """Fitted latencies grow with size and queue depth, and writes cost
+    more than reads at the median — the structural model's shape."""
+    model = SurrogateModel.load("intel320")
+    assert model.median(OpKind.READ, 64 * KIB, 1, 1.0) > model.median(
+        OpKind.READ, 4 * KIB, 1, 1.0
+    )
+    assert model.median(OpKind.READ, 4 * KIB, 32, 1.0) > model.median(
+        OpKind.READ, 4 * KIB, 1, 1.0
+    )
+    assert model.median(OpKind.WRITE, 4 * KIB, 1, 0.0) > model.median(
+        OpKind.READ, 4 * KIB, 1, 1.0
+    )
+
+
+def test_sample_bounded_and_seed_deterministic():
+    model = SurrogateModel.load("intel320")
+    curve = model.curve(OpKind.READ, 4 * KIB, 4, 1.0)
+    rng = random.Random(99)
+    samples = [model.sample(rng, OpKind.READ, 4 * KIB, 4, 1.0) for _ in range(500)]
+    assert all(curve[0] <= s <= curve[-1] for s in samples)
+    rng2 = random.Random(99)
+    again = [model.sample(rng2, OpKind.READ, 4 * KIB, 4, 1.0) for _ in range(500)]
+    assert samples == again
+
+
+# ---------------------------------------------------------------------------
+# The duck-typed device
+# ---------------------------------------------------------------------------
+
+
+def test_surrogate_device_read_write_roundtrip():
+    sim = Simulator()
+    dev = SurrogateDevice(sim, PROFILE, seed=11)
+    done = []
+    ev = dev.read(0, 4 * KIB)
+    ev.callbacks.append(lambda e: done.append(("r", sim.now)))
+    ev = dev.write(4 * KIB, 16 * KIB)
+    ev.callbacks.append(lambda e: done.append(("w", sim.now)))
+    assert dev.in_flight == 2
+    assert dev.queue_depth == PROFILE.queue_depth
+    sim.run(until=1.0)
+    assert [k for k, _ in done] == sorted(k for k, _ in done) or len(done) == 2
+    assert dev.in_flight == 0
+    assert dev.stats.reads == 1
+    assert dev.stats.writes == 1
+    assert dev.stats.read_bytes == 4 * KIB
+    assert dev.stats.write_bytes == 16 * KIB
+    assert all(t > 0.0 for _, t in done)
+
+
+def test_surrogate_device_runs_raw_trial():
+    env = DeviceEnv(PROFILE, seed=11, device="surrogate")
+    specs = [TenantSpec(name="t0", read_fraction=0.5, workers=2)]
+    trial = run_raw_trial(
+        PROFILE, specs, duration=0.2, warmup=0.05, seed=5,
+        cost_model="exact", env=env,
+    )
+    assert trial.total_iops_per_sec > 0
+    assert trial.total_vops_per_sec > 0
+
+
+def test_device_env_rejects_unknown_device_kind():
+    with pytest.raises(ValueError):
+        DeviceEnv(PROFILE, seed=11, device="quantum")
+
+
+# ---------------------------------------------------------------------------
+# The fitter (tiny in-process grid)
+# ---------------------------------------------------------------------------
+
+
+def test_fit_surrogate_tiny_grid():
+    artifact = fit_surrogate(
+        "intel320", seed=3, horizon=0.05,
+        sizes=(4 * KIB,), depths=(1, 4), mixes=(1.0, 0.0),
+    )
+    assert artifact["profile"] == "intel320"
+    for kind in ("read", "write"):
+        assert len(artifact["coef"][kind]) == len(FIT_QUANTILES)
+    # The refit artifact round-trips through the model.
+    model = SurrogateModel(artifact)
+    curve = model.curve(OpKind.READ, 4 * KIB, 1, 1.0)
+    assert curve[0] > 0.0
