@@ -8,7 +8,10 @@ the :mod:`repro.net` fabric (RPC round trips per second at RF=1 vs
 RF=2, plus the replication write-amplification overhead), the epoch
 fast-forward bench (steady-state hybrid-simulation throughput, gated
 on exact agreement with the event-by-event run and on the VOP audit
-reconciling), and the tracing-overhead gate (a disabled
+reconciling), the control-plane bench (partition-map mutation
+throughput plus the VOP overhead of growing a node mid-workload,
+gated on zero acked-write loss across the live migrations), and the
+tracing-overhead gate (a disabled
 :class:`repro.obs.Tracer` must cost the scheduler hot loop <= 2%, and
 a sample ``trace.json`` is exported for CI artifacts), then writes the
 numbers to ``BENCH_sim.json``.
@@ -75,11 +78,19 @@ HEADLINE_METRICS = (
     ("kernel.events_per_sec", ("kernel", "events_per_sec")),
     ("scheduler.ops_per_sec", ("scheduler", "ops_per_sec")),
     ("epoch.ops_per_sec", ("epoch", "ops_per_sec")),
+    ("control.map_changes_per_sec", ("control", "map_changes_per_sec")),
 )
 
 
 def _headline(results: Dict[str, Any]) -> Dict[str, float]:
-    return {label: results[a][b] for label, (a, b) in HEADLINE_METRICS}
+    """Headline numbers present in ``results`` (a stage may be absent,
+    e.g. in trimmed fixtures or future partial runs)."""
+    found = {}
+    for label, (section, key) in HEADLINE_METRICS:
+        value = results.get(section, {}).get(key)
+        if value is not None:
+            found[label] = value
+    return found
 
 
 def _git_sha() -> str:
@@ -447,6 +458,149 @@ def _bench_epoch(smoke: bool, profile: bool) -> Dict[str, Any]:
     }
 
 
+def _bench_control(smoke: bool, profile: bool) -> Dict[str, Any]:
+    """Control-plane costs: map-change throughput and migration VOPs.
+
+    The map leg hammers the versioned ranged ``PartitionMap`` with the
+    planner's mutation vocabulary — splits, promotions, atomic replica
+    cutovers — and records best-of-N mutations per wall second; the
+    routing structure must keep up with a planner loop at 10k+ tenants.
+
+    The migration leg runs the same seeded open-loop writer twice —
+    once on a static 3-node cluster, once growing a fourth node (live
+    ring-driven migrations) mid-run — and prices elasticity as the
+    relative increase in scheduler-charged VOPs (snapshot scans, wire
+    ships, and destination applies are all charged, so the delta is the
+    real bill).  Zero acked-write loss in the migrating run is a hard
+    gate on the harness exit code.
+    """
+    import random
+
+    from repro.core import Reservation
+    from repro.faults import StorageFault
+    from repro.net import NetConfig
+    from repro.node import NodeConfig, StorageCluster
+    from repro.node.router import PartitionMap
+    from repro.sim import Simulator
+
+    # -- map-change throughput (pure control plane, no DES) ------------
+    split_rounds = 2 if smoke else 4
+    churn_rounds = 20 if smoke else 60
+    repeats = 2 if smoke else 3
+    names = [f"n{i}" for i in range(8)]
+    base_sets = [(names[i % 8], names[(i + 1) % 8]) for i in range(16)]
+
+    def one_map_pass() -> float:
+        pm = PartitionMap(4)
+        pm.place_tenant_ranges("bench", base_sets, key_space=1 << 20)
+        ops = 0
+        started = time.perf_counter()
+        for _ in range(split_rounds):
+            for part in list(pm.partitions("bench")):
+                if part.hi - part.lo >= 2:
+                    pm.split(
+                        "bench", part.index,
+                        (part.lo + part.hi) // 2, part.replicas,
+                    )
+                    ops += 1
+        for _ in range(churn_rounds):
+            for part in list(pm.partitions("bench")):
+                rotated = part.replicas[1:] + part.replicas[:1]
+                pm.set_replicas("bench", part.index, rotated)
+                pm.promote("bench", part.index, rotated[1])
+                ops += 2
+        wall = time.perf_counter() - started
+        return ops / wall if wall > 0 else 0.0
+
+    map_best = _maybe_profiled(profile, "partition-map mutation loop", one_map_pass)
+    for _ in range(repeats - 1):
+        map_best = max(map_best, one_map_pass())
+
+    # -- migration VOP overhead (full stack, grow mid-run) -------------
+    horizon = 0.6 if smoke else 1.5
+
+    def one_run(migrate: bool) -> Dict[str, Any]:
+        sim = Simulator()
+        cluster = StorageCluster(
+            sim,
+            n_nodes=3,
+            profile="intel320",
+            config=NodeConfig(cache_bytes=0),
+            seed=23,
+            net=NetConfig(rf=2),
+        )
+        cluster.enable_control(key_space=1 << 14, vnodes=16)
+        cluster.add_ranged_tenant(
+            "t1", Reservation(gets=4000.0, puts=4000.0), n_partitions=4
+        )
+        client = cluster.make_client()
+        acked: Dict[int, int] = {}
+        counters = {"errors": 0, "lost": 0, "migrations": 0}
+
+        def writer():
+            rng = random.Random("perf-control-writer")
+            while sim.now < horizon:
+                key = rng.randrange(1 << 14)
+                try:
+                    yield from client.put("t1", key, 4096)
+                    acked[key] = 4096
+                except StorageFault:
+                    counters["errors"] += 1
+                yield sim.timeout(0.004)
+
+        def controller():
+            yield sim.timeout(horizon / 3.0)
+            if migrate:
+                reports = yield from cluster.grow("node3")
+                counters["migrations"] = len(reports)
+
+        def verifier():
+            yield sim.timeout(horizon + 0.05)
+            for key, size in acked.items():
+                try:
+                    got = yield from client.get("t1", key)
+                except StorageFault:
+                    got = None
+                if got != size:
+                    counters["lost"] += 1
+
+        sim.process(writer())
+        sim.process(controller())
+        sim.process(verifier())
+        sim.run(until=horizon + (3.0 if migrate else 1.0))
+        cluster.stop()
+        vops = sum(
+            node.scheduler.usage("t1").vops
+            for node in cluster.nodes.values()
+            if "t1" in node.tenants
+        )
+        return {
+            "acked": len(acked),
+            "errors": counters["errors"],
+            "lost": counters["lost"],
+            "migrations": counters["migrations"],
+            "vops": round(vops, 1),
+        }
+
+    static = _maybe_profiled(
+        profile, "control workload (static)", lambda: one_run(False)
+    )
+    grown = one_run(True)
+    overhead = (
+        round(grown["vops"] / static["vops"] - 1.0, 4) if static["vops"] else 0.0
+    )
+    return {
+        "map_split_rounds": split_rounds,
+        "map_churn_rounds": churn_rounds,
+        "map_changes_per_sec": round(map_best, 1),
+        "horizon_sim_seconds": horizon,
+        "static": static,
+        "grown": grown,
+        "migration_vop_overhead": overhead,
+        "migration_lossless": grown["lost"] == 0 and static["lost"] == 0,
+    }
+
+
 def run_harness(
     jobs: int = 4, smoke: bool = False, profile: bool = False
 ) -> Dict[str, Any]:
@@ -522,6 +676,17 @@ def run_harness(
         file=sys.stderr,
     )
 
+    print("[perf] control plane: map changes and migration VOPs...", file=sys.stderr)
+    control = _bench_control(smoke=smoke, profile=profile)
+    print(
+        f"[perf]   {control['map_changes_per_sec']:.0f} map changes/s, "
+        f"migration VOP overhead "
+        f"{100.0 * control['migration_vop_overhead']:+.1f}% "
+        f"({control['grown']['migrations']} live migrations, "
+        f"lossless={control['migration_lossless']})",
+        file=sys.stderr,
+    )
+
     print("[perf] tracing overhead (disabled tracer vs none)...", file=sys.stderr)
     obs = _bench_obs(smoke=smoke, trace_path=os.path.join(_REPO, "trace.json"))
     print(
@@ -544,6 +709,7 @@ def run_harness(
         "grids": {"fig4": grid},
         "cluster": cluster,
         "epoch": epoch,
+        "control": control,
         "obs": obs,
     }
 
@@ -597,6 +763,14 @@ def main(argv=None) -> int:
         print(
             f"[perf] FAIL: epoch fast-forward audit flagged "
             f"(reconciliation {results['epoch']['audit_reconciliation']:.4f})",
+            file=sys.stderr,
+        )
+        return 1
+    if not results["control"]["migration_lossless"]:
+        print(
+            f"[perf] FAIL: live migration lost acked writes "
+            f"(static {results['control']['static']['lost']}, "
+            f"grown {results['control']['grown']['lost']})",
             file=sys.stderr,
         )
         return 1

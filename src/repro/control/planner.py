@@ -1,0 +1,206 @@
+"""Load-aware control planning.
+
+The planner is the decision half of the control plane: a periodic DES
+process that samples each node's observed state — estimated demand in
+VOP/s (Libra's own windowed estimate, the signal the paper's policies
+act on) and scheduler queue depth — publishes it into the metrics
+registry, and decides when to act:
+
+- **split** a hot range partition whose estimated share of an
+  overloaded node's demand exceeds ``split_fraction`` — the new upper
+  half is placed by the consistent-hash ring, so a split usually also
+  moves load off the hot node;
+- **migrate** the widest range partition off an overloaded node to the
+  replica set the ring picks for it once the hot node is excluded;
+- fall back to :meth:`StorageCluster.redistribute_reservations` when
+  the map is already shaped right (no ranged partition to move) but
+  reservations are not.
+
+Every action runs through the reshard coordinator, which re-splits the
+affected tenant's reservation after the map bump — so Libra's
+provisioning follows the data automatically, map version by map
+version.  All decisions are functions of simulated state only: same
+seed, same actions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+__all__ = ["ControlPlanner", "ControlAction"]
+
+
+@dataclass(frozen=True)
+class ControlAction:
+    """One planner decision, for reports and tests."""
+
+    at: float
+    kind: str  # "split" | "migrate" | "rebalance"
+    tenant: str
+    index: int
+    detail: str
+
+
+class ControlPlanner:
+    """Periodic load sampler + split/migrate/drain decision loop."""
+
+    def __init__(
+        self,
+        cluster,
+        interval: float = 2.0,
+        overload: float = 0.85,
+        split_fraction: float = 0.5,
+        headroom: float = 0.70,
+        max_actions_per_cycle: int = 1,
+        metrics=None,
+    ):
+        if not 0 < overload <= 1:
+            raise ValueError(f"overload {overload} not in (0, 1]")
+        self.cluster = cluster
+        self.interval = interval
+        self.overload = overload
+        self.split_fraction = split_fraction
+        self.headroom = headroom
+        self.max_actions_per_cycle = max_actions_per_cycle
+        self.metrics = metrics
+        self.actions: List[ControlAction] = []
+        self.cycles = 0
+        self._stopped = False
+        self._proc = cluster.sim.process(self._loop(), name="control.planner")
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    # -- sampling ----------------------------------------------------------
+
+    def sample(self) -> Dict[str, Dict[str, float]]:
+        """Per-node load snapshot: demand VOP/s, capacity, queue depth."""
+        out: Dict[str, Dict[str, float]] = {}
+        for name, node in self.cluster.nodes.items():
+            if node.failed:
+                continue
+            demand = node.policy.estimated_demand()
+            out[name] = {
+                "demand_vops": sum(demand.values()),
+                "capacity_vops": float(node.capacity_vops),
+                "queue_depth": float(node.scheduler.backlog),
+            }
+        if self.metrics is not None:
+            for name, row in out.items():
+                for field, value in row.items():
+                    self.metrics.gauge(f"control.{field}", node=name).set(value)
+            self.metrics.gauge("control.map_version").set(
+                float(self.cluster.partition_map.version)
+            )
+        return out
+
+    # -- decision loop -----------------------------------------------------
+
+    def _loop(self):
+        while not self._stopped:
+            yield self.cluster.sim.timeout(self.interval)
+            if self._stopped:
+                return
+            yield from self.step()
+
+    def step(self):
+        """DES generator: one sample + decide + act cycle."""
+        self.cycles += 1
+        loads = self.sample()
+        acted = 0
+        for name in sorted(
+            loads, key=lambda n: loads[n]["demand_vops"] / loads[n]["capacity_vops"],
+            reverse=True,
+        ):
+            if acted >= self.max_actions_per_cycle:
+                break
+            row = loads[name]
+            if row["demand_vops"] <= self.overload * row["capacity_vops"]:
+                break  # sorted: nobody past this point is overloaded
+            action = yield from self._relieve(name, row, loads)
+            if action is not None:
+                self.actions.append(action)
+                acted += 1
+        return acted
+
+    def _relieve(self, name: str, row, loads):
+        """Pick and execute one relief action for an overloaded node."""
+        cluster = self.cluster
+        pm = cluster.partition_map
+        demand = cluster.nodes[name].policy.estimated_demand()
+        # Hottest ranged partition primaried here, by estimated VOP
+        # share: tenant demand split over its primary width on this node.
+        best, best_load = None, 0.0
+        for tenant in sorted(pm.tenants()):
+            if not pm.ranged(tenant):
+                continue
+            here = [p for p in pm.partitions(tenant) if p.node == name]
+            width_here = sum(p.width for p in here)
+            if not width_here:
+                continue
+            tenant_load = demand.get(tenant, 0.0) * pm.primary_weight(tenant, name)
+            for p in here:
+                load = tenant_load * p.width / width_here
+                if load > best_load:
+                    best, best_load = p, load
+        if best is None:
+            # Nothing migratable: shave reservations instead.
+            moves = cluster.redistribute_reservations()
+            return ControlAction(
+                cluster.sim.now, "rebalance", "*", -1, f"{moves} reservation moves"
+            )
+        ring = cluster.ring
+        if best_load > self.split_fraction * row["demand_vops"] and best.width > 1:
+            # One partition dominates the node: split it; the ring
+            # places the upper half (usually elsewhere).
+            new_index = pm.next_index(best.tenant)
+            replicas = (
+                ring.successors(f"{best.tenant}/{new_index}", cluster.rf)
+                if ring is not None
+                else best.replicas
+            )
+            report = yield from cluster.reshard.split(
+                best.tenant, best.index, new_replicas=replicas
+            )
+            return ControlAction(
+                cluster.sim.now, "split", best.tenant, best.index, report.summary()
+            )
+        # Otherwise move it to the least-loaded placement the ring
+        # offers with the hot node excluded.
+        target = self._coolest(name, loads)
+        if target is None:
+            moves = cluster.redistribute_reservations()
+            return ControlAction(
+                cluster.sim.now, "rebalance", "*", -1, f"{moves} reservation moves"
+            )
+        others = [r for r in best.replicas if r != name and r != target]
+        new_replicas = tuple([target] + others)[: max(len(best.replicas), 1)]
+        if len(new_replicas) < len(best.replicas):
+            new_replicas = new_replicas + tuple(
+                n for n in sorted(loads)
+                if n not in new_replicas and n != name
+            )[: len(best.replicas) - len(new_replicas)]
+        report = yield from cluster.reshard.migrate(
+            best.tenant, best.index, new_replicas
+        )
+        detail = report.summary() if report is not None else "noop"
+        return ControlAction(
+            cluster.sim.now, "migrate", best.tenant, best.index, detail
+        )
+
+    def _coolest(self, exclude: str, loads) -> Optional[str]:
+        candidates = [
+            n for n in sorted(loads)
+            if n != exclude
+            and loads[n]["demand_vops"]
+            < self.headroom * loads[n]["capacity_vops"]
+        ]
+        if not candidates:
+            return None
+        return min(
+            candidates,
+            key=lambda n: (
+                loads[n]["demand_vops"] / loads[n]["capacity_vops"], n
+            ),
+        )

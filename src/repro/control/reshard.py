@@ -1,0 +1,277 @@
+"""Live partition migration: catch-up-then-cutover.
+
+Moving a partition while it serves traffic has three phases:
+
+1. **Snapshot ship** — the source primary range-scans the partition's
+   keys (a real, charged engine read) and ships them in batches to
+   every joining replica, which applies them through the full charged
+   replica path (``StorageNode.apply_replica``).  Migration traffic is
+   therefore priced in VOPs on both ends, shows up in Libra's demand
+   estimates, and reconciles in :class:`~repro.obs.audit.VopAudit`.
+2. **Catch-up rounds** — writes that committed on the source after the
+   snapshot started were collected in a WAL tail; the coordinator
+   replays the tail in rounds until it is short enough to drain inside
+   a fence window.
+3. **Fence + cutover** — the source stops admitting writes to the
+   migrating range (in-flight ones commit first and join the tail),
+   the final tail drains, sequence state is aligned across the new
+   replica set, and one atomic :meth:`PartitionMap.set_replicas` (or
+   :meth:`PartitionMap.split`) version bump hands ownership over.
+   Clients that raced the fence see their retries give up on the
+   version change and re-resolve to the new primary — no acknowledged
+   write is ever lost, because every acknowledged write is either in
+   the snapshot, in a replayed tail round, or in the fenced drain.
+
+Invariants the tests and ``scalefig`` lean on:
+
+- a write is acknowledged only after it is durable on the source (and
+  its quorum), and every acknowledged write reaches the destination
+  before the map bump;
+- the map version strictly increases, and each cutover is a single
+  bump (clients never observe an intermediate placement);
+- after cutover the tenant's reservation is re-split over the new
+  layout (``_resplit_tenant``), and a source that no longer hosts the
+  tenant drops to a zero reservation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+__all__ = ["ReshardCoordinator", "MigrationReport"]
+
+
+@dataclass
+class MigrationReport:
+    """One completed migration or split, for reports and tests."""
+
+    kind: str  # "move" | "split"
+    tenant: str
+    index: int
+    #: new stable id of the upper half (splits only)
+    new_index: Optional[int] = None
+    old_replicas: Tuple[str, ...] = ()
+    new_replicas: Tuple[str, ...] = ()
+    snapshot_records: int = 0
+    tail_rounds: int = 0
+    tail_records: int = 0
+    started: float = 0.0
+    cutover_at: float = 0.0
+    #: fence window: how long writes to the range were rejected
+    fence_seconds: float = 0.0
+    map_version: int = 0
+
+    def summary(self) -> str:
+        target = (
+            f"{self.tenant}/{self.index}->{self.new_index}"
+            if self.kind == "split"
+            else f"{self.tenant}/{self.index}"
+        )
+        return (
+            f"{self.kind} {target}: {self.snapshot_records} snapshot + "
+            f"{self.tail_records} tail records over {self.tail_rounds} rounds, "
+            f"fence {self.fence_seconds * 1e3:.2f}ms, map v{self.map_version}"
+        )
+
+
+@dataclass
+class ReshardCoordinator:
+    """Drives live migrations and splits against a ``StorageCluster``.
+
+    A DES actor: its public methods are generators the caller drives
+    with ``yield from`` (or wraps in ``sim.process``).  One migration
+    runs at a time per source partition; distinct partitions may
+    migrate concurrently.
+    """
+
+    cluster: object
+    #: records per ``mig.apply`` batch
+    batch_records: int = 32
+    #: replay rounds stop once the tail is at most this long — the
+    #: remainder drains inside the fence window
+    tail_threshold: int = 8
+    #: hard cap on catch-up rounds (a write-hot range could otherwise
+    #: chase its own tail forever; the fence drain bounds the residue)
+    max_rounds: int = 10
+    reports: List[MigrationReport] = field(default_factory=list)
+
+    # -- migration ---------------------------------------------------------
+
+    def migrate(self, tenant: str, index: int, new_replicas: Tuple[str, ...]):
+        """DES generator: move a partition to ``new_replicas``.
+
+        Returns the :class:`MigrationReport` (also appended to
+        ``reports``), or ``None`` when the placement is unchanged.
+        """
+        cluster = self.cluster
+        pm = cluster.partition_map
+        partition = pm.get_partition(tenant, index)
+        new_replicas = tuple(new_replicas)
+        if new_replicas == partition.replicas:
+            return None
+        if partition.lo is None:
+            raise ValueError(
+                f"{tenant}/{index} is mod-hash placed; only range partitions migrate"
+            )
+        report = MigrationReport(
+            kind="move",
+            tenant=tenant,
+            index=index,
+            old_replicas=partition.replicas,
+            new_replicas=new_replicas,
+            started=cluster.sim.now,
+        )
+        source = cluster.services[partition.node]
+        # Joining replicas need the data shipped; survivors from the old
+        # set already hold the applied prefix.
+        targets = [n for n in new_replicas if n not in partition.replicas]
+        for name in new_replicas:
+            cluster.ensure_tenant(name, tenant)
+        source.migration_begin(tenant, index, partition.lo, partition.hi)
+        try:
+            residue = yield from self._catch_up(
+                source, report, tenant, index, partition.lo, partition.hi, targets
+            )
+            yield from self._cutover(
+                source, report, tenant, index, targets,
+                lambda: pm.set_replicas(tenant, index, new_replicas),
+                residue,
+            )
+        finally:
+            source.migration_end(tenant, index)
+        self._settle(tenant, index, partition.replicas, new_replicas, report)
+        return report
+
+    def split(
+        self,
+        tenant: str,
+        index: int,
+        at: Optional[int] = None,
+        new_replicas: Optional[Tuple[str, ...]] = None,
+    ):
+        """DES generator: split a range partition in two at key ``at``.
+
+        The lower half keeps its id, replicas, and data; the upper half
+        ``[at, hi)`` gets a fresh id on ``new_replicas`` (defaulting to
+        the current replicas — an in-place metadata split with no data
+        movement).  When the upper half moves, its data migrates with
+        the same snapshot/tail/fence machinery as :meth:`migrate`.
+        """
+        cluster = self.cluster
+        pm = cluster.partition_map
+        partition = pm.get_partition(tenant, index)
+        if partition.lo is None:
+            raise ValueError(f"{tenant}/{index} is mod-hash placed; cannot split")
+        if at is None:
+            at = (partition.lo + partition.hi) // 2
+        if not partition.lo < at < partition.hi:
+            raise ValueError(
+                f"split point {at} outside ({partition.lo}, {partition.hi})"
+            )
+        new_replicas = tuple(new_replicas or partition.replicas)
+        report = MigrationReport(
+            kind="split",
+            tenant=tenant,
+            index=index,
+            old_replicas=partition.replicas,
+            new_replicas=new_replicas,
+            started=cluster.sim.now,
+        )
+        source = cluster.services[partition.node]
+        targets = [n for n in new_replicas if n not in partition.replicas]
+        for name in new_replicas:
+            cluster.ensure_tenant(name, tenant)
+        # Only the upper range is tailed and fenced; writes to the
+        # lower half flow untouched throughout.
+        source.migration_begin(tenant, index, at, partition.hi)
+        upper_holder = {}
+        try:
+            residue = yield from self._catch_up(
+                source, report, tenant, index, at, partition.hi, targets
+            )
+
+            def commit():
+                upper = pm.split(tenant, index, at, new_replicas)
+                upper_holder["partition"] = upper
+                # The upper half is a fresh stream: every new replica
+                # starts at sequence zero, already aligned.
+                for name in new_replicas:
+                    cluster.services[name].reset_stream(tenant, upper.index, 0)
+
+            yield from self._cutover(
+                source, report, tenant, index, targets, commit, residue
+            )
+        finally:
+            source.migration_end(tenant, index)
+        report.new_index = upper_holder["partition"].index
+        self._settle(tenant, index, partition.replicas, new_replicas, report)
+        return report
+
+    # -- phases ------------------------------------------------------------
+
+    def _catch_up(self, source, report, tenant, index, lo, hi, targets):
+        """Snapshot ship plus tail replay rounds (no fence yet)."""
+        snapshot = yield from source.migration_snapshot(tenant, lo, hi)
+        report.snapshot_records = len(snapshot)
+        yield from source.migration_ship(
+            targets, tenant, snapshot, batch=self.batch_records
+        )
+        for _round in range(self.max_rounds):
+            tail = source.migration_take_tail(tenant, index)
+            if len(tail) <= self.tail_threshold:
+                # Short enough to drain inside the fence window; carry
+                # it into the fenced drain.
+                report.tail_records += len(tail)
+                return tail
+            report.tail_rounds += 1
+            report.tail_records += len(tail)
+            yield from source.migration_ship(
+                targets, tenant, tail, batch=self.batch_records
+            )
+        return []
+
+    def _cutover(self, source, report, tenant, index, targets, commit, residue):
+        """Fence, drain the final tail, align sequences, bump the map."""
+        cluster = self.cluster
+        fence_start = cluster.sim.now
+        remainder = yield from source.migration_fence(tenant, index)
+        final = list(residue) + list(remainder)
+        report.tail_records += len(remainder)
+        yield from source.migration_ship(
+            targets, tenant, final, batch=self.batch_records
+        )
+        commit()
+        report.cutover_at = cluster.sim.now
+        report.fence_seconds = cluster.sim.now - fence_start
+        report.map_version = cluster.partition_map.version
+
+    def _settle(self, tenant, index, old_replicas, new_replicas, report):
+        """Post-cutover bookkeeping: align streams, re-split reservations."""
+        cluster = self.cluster
+        if report.kind == "move":
+            # Declare the acked prefix on every new member so the new
+            # primary's stream continues above any survivor's applied
+            # sequence (a survivor would otherwise drop it as stale).
+            seq = max(
+                cluster.services[name].applied_seq(tenant, index)
+                for name in set(old_replicas) | set(new_replicas)
+            )
+            for name in new_replicas:
+                cluster.services[name].reset_stream(tenant, index, seq)
+        cluster._resplit_tenant(tenant)
+        # A source that no longer hosts any replica of the tenant keeps
+        # its engine (stale data is unreachable — clients resolve the new
+        # owner) but releases its reservation back to the pool.
+        from ..core.policy import Reservation
+
+        for name in old_replicas:
+            if name in new_replicas:
+                continue
+            node = cluster.nodes[name]
+            if (
+                tenant in node.tenants
+                and cluster.partition_map.replica_weight(tenant, name) == 0.0
+            ):
+                node.set_reservation(tenant, Reservation())
+        self.reports.append(report)

@@ -32,10 +32,13 @@ FIGURES = (
     "fig2", "fig3", "fig4", "fig5", "fig6",
     "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
     "chaosfig", "clusterfig", "epochfig", "obsfig", "partitionfig",
+    "scalefig",
 )
 
 
-def run_figure(name: str, quick: bool, seed: int = None, jobs: int = 1) -> str:
+def run_figure(
+    name: str, quick: bool, seed: int = None, jobs: int = 1, smoke: bool = False
+) -> str:
     """Run one figure module and return its rendered report."""
     if name not in FIGURES:
         raise SystemExit(f"unknown figure {name!r}; choose from {', '.join(FIGURES)} or 'all'")
@@ -43,6 +46,12 @@ def run_figure(name: str, quick: bool, seed: int = None, jobs: int = 1) -> str:
     kwargs = {"quick": quick, "jobs": jobs}
     if seed is not None:
         kwargs["seed"] = seed
+    if smoke:
+        import inspect
+
+        if "smoke" not in inspect.signature(module.run).parameters:
+            raise SystemExit(f"figure {name!r} has no --smoke mode")
+        kwargs["smoke"] = True
     result = module.run(**kwargs)
     return module.render(result)
 
@@ -63,13 +72,20 @@ def main(argv: List[str] = None) -> int:
         help="worker processes for parallelizable figure grids "
              "(byte-identical to --jobs 1; default 1)",
     )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI-sized footprint (figures that support it, e.g. scalefig)",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
     names = FIGURES if args.figure == "all" else (args.figure,)
     for name in names:
         started = time.time()
-        report = run_figure(name, quick=not args.full, seed=args.seed, jobs=args.jobs)
+        report = run_figure(
+            name, quick=not args.full, seed=args.seed, jobs=args.jobs,
+            smoke=args.smoke,
+        )
         print(report)
         print(f"[{name} completed in {time.time() - started:.0f}s]\n")
     return 0

@@ -23,7 +23,7 @@ the fabric, is what tells the rest of the cluster.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..faults import FaultPlan, NetFaultInjector
 from ..sim import Simulator, Timeout
@@ -70,6 +70,13 @@ class NetConfig:
     anti_entropy_interval: float = 2.0
     #: Merkle-style digest buckets per (tenant, partition) key range
     anti_entropy_buckets: int = 16
+    #: application conflict resolver for concurrent leaderless siblings:
+    #: called at the read edge with the surviving sibling sizes and
+    #: returns the merged value's size (e.g. a shopping-cart union).
+    #: The coordinator writes the merged value back with a clock that
+    #: dominates every sibling, so the conflict set collapses cluster
+    #: wide.  None keeps the default last-writer-wins tiebreak.
+    merge_fn: Optional[Callable[[List[int]], int]] = None
     # -- RPC budgets (mirroring NodeConfig's device-fault budgets) ---------
     #: per-attempt response budget, seconds
     rpc_timeout: float = 0.25

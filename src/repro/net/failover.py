@@ -125,6 +125,14 @@ class FailureDetector:
         self._stopped = False
         sim.process(self._sweep(), name=f"detector.{name}")
 
+    def watch(self, name: str) -> None:
+        """Track a freshly added node; its grace period starts now."""
+        self.last_seen[name] = self.sim.now
+
+    def unwatch(self, name: str) -> None:
+        """Stop tracking a drained node (no suspicion, no failover)."""
+        self.last_seen.pop(name, None)
+
     def _on_heartbeat(self, payload) -> None:
         node = payload["node"]
         if node in self.last_seen:

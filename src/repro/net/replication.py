@@ -44,7 +44,7 @@ owning tenant, visible to Libra's demand estimates.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..faults import NodeUnreachable, QuorumError, RetriesExhausted, StorageFault
 from ..node.router import PartitionMap
@@ -52,7 +52,7 @@ from ..node.server import StorageNode
 from ..sim import Simulator
 from .fabric import NetConfig, NetworkFabric
 from .rpc import ACK_BYTES, RpcEndpoint
-from .versioning import Version, VersionStore, reconcile
+from .versioning import VectorClock, Version, VersionStore, reconcile
 
 __all__ = ["Membership", "KvService"]
 
@@ -101,6 +101,41 @@ class Membership:
     def dead(self) -> List[str]:
         return list(self._dead)
 
+    def add(self, name: str) -> None:
+        """Admit a freshly provisioned node (control-plane node add)."""
+        self._live.add(name)
+
+    def remove(self, name: str) -> None:
+        """Retire a drained node: gone from the view without being
+        declared dead, so no failover machinery runs for it."""
+        self._live.discard(name)
+        if name in self._dead:
+            self._dead.remove(name)
+
+
+class _Migration:
+    """Outbound migration state on a source primary (one key range).
+
+    Created by :meth:`KvService.migration_begin`; the reshard
+    coordinator drives the snapshot/catch-up/cutover sequence around
+    it.  ``tail`` collects writes to the migrating range that commit
+    after the snapshot scan started — the WAL tail the catch-up rounds
+    replay.  ``fenced`` rejects new writes during the final drain;
+    the fence waits on the service's per-partition in-flight counter
+    so every admitted write commits (and lands in the tail) first.
+    """
+
+    __slots__ = ("lo", "hi", "tail", "fenced")
+
+    def __init__(self, lo: Optional[int], hi: Optional[int]):
+        self.lo = lo
+        self.hi = hi
+        self.tail: List[Tuple[int, int, str]] = []  # (key, size, op)
+        self.fenced = False
+
+    def covers(self, key: int) -> bool:
+        return self.lo is None or (self.lo <= key < self.hi)
+
 
 class KvService:
     """One node's RPC face: client KV methods plus the replication feed.
@@ -143,6 +178,19 @@ class KvService:
         self.rpc.register("kv.delete", self._handle_delete)
         self.rpc.register("repl.apply", self._handle_apply)
         self.rpc.register("repl.seq", self._handle_seq)
+        self.rpc.register("mig.apply", self._handle_mig_apply)
+        # -- live migration (control plane; see repro.control.reshard) -----
+        #: outbound migrations on this primary: (tenant, pid) -> state
+        self.migrations: Dict[Tuple[str, int], _Migration] = {}
+        #: writes in flight per (tenant, pid) — counted whether or not a
+        #: migration is active, so a migration that *begins* mid-write
+        #: can still fence against (and tail-capture) that write
+        self._op_inflight: Dict[Tuple[str, int], int] = {}
+        self._op_idle: Dict[Tuple[str, int], object] = {}
+        self.fence_rejects = 0
+        self.mig_records_out = 0
+        self.mig_bytes_out = 0
+        self.mig_records_in = 0
         # -- leaderless mode (vector clocks + sloppy quorums) --------------
         #: per-key surviving version sets (leaderless mode only)
         self.versions = VersionStore(node.name)
@@ -158,6 +206,8 @@ class KvService:
         self.ae_received = 0
         #: quorum reads that surfaced >1 concurrent sibling
         self.sibling_reads = 0
+        #: sibling sets collapsed by the application's ``merge_fn``
+        self.sibling_merges = 0
         self._lseq = 0
         self._handoff_stopped = False
         if self.config.leaderless:
@@ -225,19 +275,38 @@ class KvService:
         tenant, key, size = payload["tenant"], payload["key"], payload["size"]
         trace = payload.get("trace")
         partition = self._own_partition(tenant, key)
-        # Local durable write first: when this returns, the record's WAL
-        # group commit has landed — the commit hook has run and the
-        # record is eligible for acknowledgement and shipping.
-        yield from self.node.put(tenant, key, size, trace=trace)
-        yield from self._replicate(partition, key, size, "put", trace)
+        slot = self._fence_check(partition, key)
+        self._op_inflight[slot] = self._op_inflight.get(slot, 0) + 1
+        try:
+            # Local durable write first: when this returns, the record's
+            # WAL group commit has landed — the commit hook has run and
+            # the record is eligible for acknowledgement and shipping.
+            yield from self.node.put(tenant, key, size, trace=trace)
+            # Re-fetch: a migration that began while this write was in
+            # the engine must still capture it — the snapshot scan may
+            # have already passed this key's position.
+            mig = self.migrations.get(slot)
+            if mig is not None and mig.covers(key):
+                mig.tail.append((key, size, "put"))
+            yield from self._replicate(partition, key, size, "put", trace)
+        finally:
+            self._op_done(slot)
         return {"ok": True}, ACK_BYTES
 
     def _handle_delete(self, payload):
         tenant, key = payload["tenant"], payload["key"]
         trace = payload.get("trace")
         partition = self._own_partition(tenant, key)
-        yield from self.node.delete(tenant, key, trace=trace)
-        yield from self._replicate(partition, key, 0, "delete", trace)
+        slot = self._fence_check(partition, key)
+        self._op_inflight[slot] = self._op_inflight.get(slot, 0) + 1
+        try:
+            yield from self.node.delete(tenant, key, trace=trace)
+            mig = self.migrations.get(slot)
+            if mig is not None and mig.covers(key):
+                mig.tail.append((key, 0, "delete"))
+            yield from self._replicate(partition, key, 0, "delete", trace)
+        finally:
+            self._op_done(slot)
         return {"ok": True}, ACK_BYTES
 
     def _own_partition(self, tenant: str, key: int):
@@ -386,6 +455,140 @@ class KvService:
         applied = self.applied_seq(payload["tenant"], payload["pid"])
         return {"seq": applied}, ACK_BYTES
         yield  # pragma: no cover - marks this handler as a generator
+
+    # -- live migration (source primary + destination sides) ----------------
+    #
+    # The reshard coordinator (repro.control.reshard) drives these as a
+    # catch-up-then-cutover sequence: snapshot scan (charged range read
+    # here), batched ship to the joining replicas (wire bytes on the
+    # fabric, charged replica applies there), WAL-tail replay rounds,
+    # then a fence + final drain so every acknowledged write is on the
+    # destination before the atomic map bump hands ownership over.
+
+    def _fence_check(self, partition, key: int) -> Tuple[str, int]:
+        """Admission check for a write; returns the in-flight slot key.
+
+        A write into a fenced migrating range is rejected — the error
+        travels back as an RpcError and the client's retry loop
+        re-resolves once the cutover bumps the map version.
+        """
+        slot = (partition.tenant, partition.index)
+        mig = self.migrations.get(slot)
+        if mig is not None and mig.fenced and mig.covers(key):
+            self.fence_rejects += 1
+            raise KeyError(
+                f"{partition.tenant}/{partition.index} is fenced for cutover "
+                f"on {self.node.name}"
+            )
+        return slot
+
+    def _op_done(self, slot: Tuple[str, int]) -> None:
+        remaining = self._op_inflight.get(slot, 0) - 1
+        if remaining <= 0:
+            self._op_inflight.pop(slot, None)
+            waiter = self._op_idle.pop(slot, None)
+            if waiter is not None and not waiter.triggered:
+                waiter.succeed()
+        else:
+            self._op_inflight[slot] = remaining
+
+    def migration_begin(
+        self, tenant: str, pid: int, lo: Optional[int], hi: Optional[int]
+    ) -> None:
+        """Start tailing acked writes to ``[lo, hi)`` of a partition."""
+        slot = (tenant, pid)
+        if slot in self.migrations:
+            raise RuntimeError(f"{tenant}/{pid} already migrating on {self.node.name}")
+        self.migrations[slot] = _Migration(lo, hi)
+
+    def migration_take_tail(self, tenant: str, pid: int) -> List[Tuple[int, int, str]]:
+        """Drain the accumulated WAL tail for one catch-up round."""
+        mig = self.migrations[(tenant, pid)]
+        tail, mig.tail = mig.tail, []
+        return tail
+
+    def migration_fence(self, tenant: str, pid: int):
+        """DES generator: stop admitting writes to the migrating range,
+        wait for in-flight ones to commit, and return the final tail.
+
+        The wait covers *every* write in flight on the partition —
+        including ones admitted before :meth:`migration_begin` ran —
+        so nothing can commit (and tail-append) after the final drain.
+        """
+        slot = (tenant, pid)
+        mig = self.migrations[slot]
+        mig.fenced = True
+        while self._op_inflight.get(slot, 0) > 0:
+            waiter = self._op_idle.get(slot)
+            if waiter is None or waiter.triggered:
+                waiter = self.sim.event()
+                self._op_idle[slot] = waiter
+            yield waiter
+        tail, mig.tail = mig.tail, []
+        return tail
+
+    def migration_end(self, tenant: str, pid: int) -> None:
+        """Drop migration state after cutover (or on abort)."""
+        self.migrations.pop((tenant, pid), None)
+
+    def migration_snapshot(self, tenant: str, lo: int, hi: int):
+        """DES generator: charged range read of ``[lo, hi)`` from the
+        local engine — the snapshot the coordinator ships."""
+        results = yield from self.node.scan(tenant, lo, hi - 1)
+        return [(key, size, "put") for key, size in results]
+
+    def migration_ship(
+        self,
+        targets: Sequence[str],
+        tenant: str,
+        records: Sequence[Tuple[int, int, str]],
+        batch: int = 32,
+    ):
+        """DES generator: ship records to each joining replica in order.
+
+        Batched ``mig.apply`` calls pay real wire bytes here and real
+        charged engine applies on the destination, so migration traffic
+        is priced in VOPs on both ends and reconciles in the audit.
+        """
+        if not records:
+            return
+        for start in range(0, len(records), batch):
+            chunk = list(records[start:start + batch])
+            nbytes = sum(size for _k, size, _op in chunk) + REPL_HEADER_BYTES
+            for target in targets:
+                yield from self.rpc.call(
+                    target,
+                    "mig.apply",
+                    {"tenant": tenant, "records": chunk},
+                    nbytes,
+                    give_up=lambda t=target: not self.membership.is_live(t),
+                )
+                self.mig_records_out += len(chunk)
+                self.mig_bytes_out += nbytes
+
+    def reset_stream(self, tenant: str, pid: int, seq: int) -> None:
+        """Align this replica's sequence state at cutover.
+
+        The coordinator declares the acked prefix to be ``seq`` on every
+        member of the new replica set (control metadata riding the map
+        bump): the new primary continues shipping from there, and
+        surviving old backups won't mistake the new stream for stale
+        duplicates or buffer forever behind sequences that already
+        landed via the migration ship.
+        """
+        slot = (tenant, pid)
+        self._applied[slot] = seq
+        self._ship_seq[slot] = seq
+        self._pending.pop(slot, None)
+
+    def _handle_mig_apply(self, payload):
+        """Destination side: durably apply a batch of shipped records
+        through the full charged replica path, in order."""
+        tenant = payload["tenant"]
+        for key, size, op in payload["records"]:
+            yield from self.node.apply_replica(tenant, key, size or 1024, op=op)
+            self.mig_records_in += 1
+        return {"n": len(payload["records"])}, ACK_BYTES
 
     # -- leaderless mode (vector clocks + sloppy quorums) -------------------
 
@@ -603,6 +806,12 @@ class KvService:
             return {"size": local_size, "siblings": 0}, (local_size or ACK_BYTES)
         if len(survivors) > 1:
             self.sibling_reads += 1
+            merged = self._merge_siblings(tenant, key, survivors)
+            if merged is not None:
+                # The merged value supersedes the whole conflict set:
+                # the repair fan-out below installs it everywhere a
+                # reply came from, collapsing the siblings cluster-wide.
+                winner, survivors = merged, [merged]
         for name in sorted(replies):
             _size, held = replies[name]
             for version in survivors:
@@ -623,6 +832,33 @@ class KvService:
                     )
         size = None if winner.tombstone else winner.size
         return {"size": size, "siblings": len(survivors)}, (size or ACK_BYTES)
+
+    def _merge_siblings(self, tenant, key, survivors):
+        """Collapse concurrent siblings through the application's
+        ``merge_fn`` (shopping-cart style semantic resolution).
+
+        Returns the merged :class:`Version`, or ``None`` when no
+        resolver is configured or a tombstone is in the conflict set
+        (delete-vs-put stays on the last-writer-wins tiebreak).  The
+        merged version's clock is the pointwise maximum of every
+        sibling's, bumped at this coordinator — it causally dominates
+        the entire set, so replicas drop the siblings on apply.
+        """
+        merge_fn = self.config.merge_fn
+        if merge_fn is None or any(v.tombstone for v in survivors):
+            return None
+        merged_size = int(merge_fn([v.size for v in survivors]))
+        clock = VectorClock()
+        for version in survivors:
+            clock = clock.merge(version.clock)
+        self._lseq += 1
+        self.sibling_merges += 1
+        return Version(
+            clock=clock.bump(self.node.name),
+            size=merged_size,
+            op="put",
+            stamp=(self.sim.now, self.node.name, self._lseq),
+        )
 
     def _read_one_replica(
         self, target, tenant, key, replies, state, need, total, quorum, trace=None

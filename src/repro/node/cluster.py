@@ -55,20 +55,21 @@ class StorageCluster:
         self.obs = obs
         self.nodes: Dict[str, StorageNode] = {}
         self.overflows: List[OverflowReport] = []
-        for i in range(n_nodes):
-            name = f"node{i}"
-            self.nodes[name] = StorageNode(
-                sim,
-                profile=profile,
-                config=config,
-                seed=seed + i,
-                name=name,
-                on_overflow=self.overflows.append,
-                obs=obs,
-            )
+        # Construction parameters, kept for control-plane node adds.
+        self._profile = profile
+        self._node_config = config
+        self._seed = seed
+        self._node_seq = 0
+        for _ in range(n_nodes):
+            self._new_node()
         self.partition_map = PartitionMap(partitions_per_tenant)
         self.router = Router(self.nodes, self.partition_map)
         self._global_reservations: Dict[str, Reservation] = {}
+        # -- optional control plane (repro.control) ------------------------
+        #: consistent-hash ring; created by :meth:`enable_control`
+        self.ring = None
+        self._key_space = 0
+        self._reshard = None
         # -- optional network substrate (repro.net) ------------------------
         self.net = net
         self.fabric = None
@@ -119,10 +120,223 @@ class StorageCluster:
                 for name, service in self.services.items()
             }
 
+    def _new_node(self, name: Optional[str] = None) -> str:
+        """Construct the next StorageNode (no net wiring)."""
+        if name is None:
+            name = f"node{self._node_seq}"
+        if name in self.nodes:
+            raise ValueError(f"node {name!r} already exists")
+        self.nodes[name] = StorageNode(
+            self.sim,
+            profile=self._profile,
+            config=self._node_config,
+            seed=self._seed + self._node_seq,
+            name=name,
+            on_overflow=self.overflows.append,
+            obs=self.obs,
+        )
+        self._node_seq += 1
+        return name
+
     @property
     def rf(self) -> int:
         """The cluster's replication factor (1 without a net config)."""
         return self.net.rf if self.net is not None else 1
+
+    # -- control plane (repro.control) -------------------------------------
+
+    @property
+    def reshard(self):
+        """The lazily created live-migration coordinator."""
+        if self._reshard is None:
+            from ..control.reshard import ReshardCoordinator
+
+            self._reshard = ReshardCoordinator(self)
+        return self._reshard
+
+    def enable_control(self, key_space: int = 1 << 20, vnodes: int = 64) -> None:
+        """Switch on ring placement for subsequently added tenants.
+
+        Builds the consistent-hash ring over the current nodes; tenants
+        placed with :meth:`add_ranged_tenant` get contiguous key ranges
+        ``[0, key_space)`` whose replica sets the ring picks, and
+        :meth:`grow`/:meth:`drain_node` keep them balanced with
+        minimal-movement migrations.  Existing mod-hash tenants are
+        untouched.
+
+        Requires the net layer: live migration ships snapshots and WAL
+        tails over each node's ``KvService``.
+        """
+        if self.net is None:
+            raise ValueError(
+                "the control plane needs the net layer; construct the "
+                "cluster with net=NetConfig(...)"
+            )
+        from ..control.ring import HashRing
+
+        self.ring = HashRing(list(self.nodes), vnodes=vnodes)
+        self._key_space = key_space
+
+    def add_ranged_tenant(
+        self,
+        tenant: str,
+        reservation: Reservation,
+        n_partitions: Optional[int] = None,
+        engine_config: Optional[EngineConfig] = None,
+    ) -> None:
+        """Place a tenant as ring-placed key ranges (control-plane mode).
+
+        The reservation split follows keyspace *width* rather than
+        partition count, so post-split unequal ranges get proportional
+        shares.
+        """
+        if self.ring is None:
+            raise RuntimeError("call enable_control() before add_ranged_tenant()")
+        n = n_partitions or self.partition_map.partitions_per_tenant
+        self._global_reservations[tenant] = reservation
+        replica_sets = [
+            self.ring.successors(f"{tenant}/{i}", self.rf) for i in range(n)
+        ]
+        self.partition_map.place_tenant_ranges(
+            tenant, replica_sets, self._key_space, ring=self.ring.nodes
+        )
+        for name, node in self.nodes.items():
+            local = self._local_reservation(tenant, name)
+            if local is None:
+                continue
+            node.add_tenant(tenant, local, engine_config=engine_config)
+            service = self.services.get(name)
+            if service is not None:
+                service.watch_tenant(tenant)
+
+    def ensure_tenant(self, name: str, tenant: str) -> None:
+        """Register a tenant on a node ahead of a migration (zero
+        reservation until the post-cutover re-split assigns its share)."""
+        node = self.nodes[name]
+        if tenant in node.tenants:
+            return
+        node.add_tenant(tenant, Reservation())
+        service = self.services.get(name)
+        if service is not None:
+            service.watch_tenant(tenant)
+
+    def add_node(self, name: Optional[str] = None) -> str:
+        """Provision one node: engine stack plus full net wiring.
+
+        Pure state change (no DES time passes); data only moves once
+        :meth:`grow` or the planner migrates partitions onto it.
+        """
+        name = self._new_node(name)
+        if self.net is not None:
+            from ..net import AntiEntropyService, HeartbeatService, KvService
+
+            service = KvService(
+                self.sim, self.nodes[name], self.fabric, self.partition_map,
+                self.membership, config=self.net,
+            )
+            self.services[name] = service
+            self.membership.add(name)
+            self.detector.watch(name)
+            self.heartbeats[name] = HeartbeatService(
+                self.sim, service.rpc, self.detector.endpoint.name,
+                self.net.heartbeat_interval,
+            )
+            if self.net.leaderless:
+                self.anti_entropy[name] = AntiEntropyService(self.sim, service)
+        return name
+
+    def grow(self, name: Optional[str] = None):
+        """DES generator: add a node and rebalance ranged tenants onto it.
+
+        The ring computes the minimal-movement placement; every moved
+        partition is live-migrated (snapshot + tail + fenced cutover),
+        one at a time, each with its own atomic map bump and
+        reservation re-split.  Returns the migration reports.
+        """
+        name = self.add_node(name)
+        reports = []
+        if self.ring is None:
+            return reports
+        self.ring.add_node(name)
+        for tenant in sorted(self.partition_map.tenants()):
+            if not self.partition_map.ranged(tenant):
+                continue
+            for partition in sorted(
+                self.partition_map.partitions(tenant), key=lambda p: p.index
+            ):
+                new_rs = self.ring.successors(
+                    f"{tenant}/{partition.index}", self.rf
+                )
+                if new_rs != partition.replicas:
+                    report = yield from self.reshard.migrate(
+                        tenant, partition.index, new_rs
+                    )
+                    if report is not None:
+                        reports.append(report)
+        return reports
+
+    def drain_node(self, name: str):
+        """DES generator: migrate everything off a node, then retire it.
+
+        The ring drops the node first so successor walks skip it; every
+        partition with a replica here is live-migrated to its new
+        placement.  The node then leaves the membership view cleanly —
+        no suspicion, no failover — and stops.
+        """
+        if self.ring is not None and name in self.ring:
+            self.ring.remove_node(name)
+        reports = []
+        for tenant in sorted(self.partition_map.tenants()):
+            if not self.partition_map.ranged(tenant):
+                continue
+            for partition in sorted(
+                self.partition_map.partitions(tenant), key=lambda p: p.index
+            ):
+                if name not in partition.replicas:
+                    continue
+                if self.ring is not None:
+                    new_rs = self.ring.successors(
+                        f"{tenant}/{partition.index}", self.rf
+                    )
+                else:
+                    survivors = tuple(
+                        r for r in partition.replicas if r != name
+                    )
+                    if not survivors:
+                        continue
+                    new_rs = survivors
+                report = yield from self.reshard.migrate(
+                    tenant, partition.index, new_rs
+                )
+                if report is not None:
+                    reports.append(report)
+        heartbeat = self.heartbeats.pop(name, None)
+        if heartbeat is not None:
+            heartbeat.stop()
+        if self.detector is not None:
+            self.detector.unwatch(name)
+        if self.membership is not None:
+            self.membership.remove(name)
+        ae = self.anti_entropy.pop(name, None)
+        if ae is not None:
+            ae.stop()
+        self.nodes[name].stop()
+        return reports
+
+    def split_partition(self, tenant: str, index: int, at: Optional[int] = None):
+        """DES generator: split a hot range partition in two.
+
+        The ring places the new upper half (so the split usually also
+        sheds load); without a ring the split is in place.
+        """
+        new_replicas = None
+        if self.ring is not None:
+            new_index = self.partition_map.next_index(tenant)
+            new_replicas = self.ring.successors(f"{tenant}/{new_index}", self.rf)
+        report = yield from self.reshard.split(
+            tenant, index, at=at, new_replicas=new_replicas
+        )
+        return report
 
     # -- tenant management -------------------------------------------------------
 
@@ -168,22 +382,29 @@ class StorageCluster:
         absorbs under any-replica coordination; writes still land
         durably on every replica, so the PUT share is unchanged.
         """
-        total = self.partition_map.partitions_per_tenant
-        primaries = self.partition_map.partitions_on(tenant, name)
-        replicas = self.partition_map.replicas_on(tenant, name)
-        if replicas == 0:
+        pm = self.partition_map
+        if pm.ranged(tenant):
+            # Range tenants weight by keyspace *width*, so post-split
+            # unequal ranges carry proportional shares.
+            primary_share = pm.primary_weight(tenant, name)
+            replica_share = pm.replica_weight(tenant, name)
+        else:
+            total = pm.partitions_per_tenant
+            primary_share = pm.partitions_on(tenant, name) / total
+            replica_share = pm.replicas_on(tenant, name) / total
+        if replica_share == 0:
             return None
         reservation = self._global_reservations[tenant]
         if self.net is not None and self.net.leaderless:
             rf = max(self.rf, 1)
             read_share = min(self.net.effective_read_quorum, rf) / rf
             return Reservation(
-                gets=reservation.gets * replicas / total * read_share,
-                puts=reservation.puts * replicas / total,
+                gets=reservation.gets * replica_share * read_share,
+                puts=reservation.puts * replica_share,
             )
         return Reservation(
-            gets=reservation.gets * primaries / total,
-            puts=reservation.puts * replicas / total,
+            gets=reservation.gets * primary_share,
+            puts=reservation.puts * replica_share,
         )
 
     def global_reservation(self, tenant: str) -> Reservation:

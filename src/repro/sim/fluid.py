@@ -24,6 +24,7 @@ why they fell back to event-by-event mode.
 
 from __future__ import annotations
 
+import bisect
 import math
 from typing import Optional, Sequence, Tuple
 
@@ -70,6 +71,12 @@ class SteadyStateMonitor:
         self.fault_plan = fault_plan
         self.headroom = headroom
         self.max_vops_per_sec = float(scheduler.cost_model.max_iop)
+        #: persistent caller-registered edges (control-plane events:
+        #: planned tenant arrivals/departures, migrations, map changes)
+        #: that epochs never jump across — the mechanism that lets a
+        #: churn trial fast-forward *between* control actions.  Kept
+        #: sorted; edges at or before the clock are pruned lazily.
+        self.extra_edges: list = []
 
     # -- eligibility -------------------------------------------------------
 
@@ -95,6 +102,17 @@ class SteadyStateMonitor:
         if demand_vops > self.headroom * self.max_vops_per_sec:
             return False, "overload"
         return True, "steady"
+
+    # -- persistent edges --------------------------------------------------
+
+    def register_edge(self, at: float) -> None:
+        """Register a future control-plane event time as an epoch edge."""
+        if at > self.sim.now:
+            bisect.insort(self.extra_edges, at)
+
+    def register_edges(self, ats) -> None:
+        for at in ats:
+            self.register_edge(at)
 
     # -- horizon -----------------------------------------------------------
 
@@ -130,6 +148,10 @@ class SteadyStateMonitor:
             fault_edge = plan.next_edge(now)
             if fault_edge < edge:
                 edge, reason = fault_edge, "fault-edge"
+        while self.extra_edges and self.extra_edges[0] <= now:
+            self.extra_edges.pop(0)
+        if self.extra_edges and self.extra_edges[0] < edge:
+            edge, reason = self.extra_edges[0], "event"
         for extra in extra_edges:
             if now < extra < edge:
                 edge, reason = extra, "event"

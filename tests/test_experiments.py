@@ -15,6 +15,7 @@ from repro.experiments.fig4 import Fig4Result
 def test_figure_registry_complete():
     assert FIGURES == tuple(f"fig{i}" for i in range(2, 13)) + (
         "chaosfig", "clusterfig", "epochfig", "obsfig", "partitionfig",
+        "scalefig",
     )
 
 

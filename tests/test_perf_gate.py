@@ -12,11 +12,12 @@ if _BENCH not in sys.path:
 from perf.harness import append_history, check_regression  # noqa: E402
 
 
-def results(kernel=500_000.0, sched=40_000.0, epoch=250_000.0):
+def results(kernel=500_000.0, sched=40_000.0, epoch=250_000.0, control=200_000.0):
     return {
         "kernel": {"events_per_sec": kernel},
         "scheduler": {"ops_per_sec": sched},
         "epoch": {"ops_per_sec": epoch},
+        "control": {"map_changes_per_sec": control},
     }
 
 
@@ -30,6 +31,13 @@ def write_baseline(path, kernel=500_000.0, sched=40_000.0, epoch=250_000.0):
     }
     path.write_text(json.dumps(payload))
     return str(path)
+
+
+def test_headline_skips_absent_stage():
+    from perf.harness import _headline
+
+    trimmed = {"kernel": {"events_per_sec": 1.0}}
+    assert _headline(trimmed) == {"kernel.events_per_sec": 1.0}
 
 
 def test_gate_passes_within_tolerance(tmp_path, monkeypatch):
