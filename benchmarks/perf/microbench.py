@@ -114,26 +114,33 @@ def kernel_speedup(scale: int = 1, repeats: int = 3) -> Dict[str, Any]:
 
 
 def scheduler_ops_per_sec(
-    sim_seconds: float = 0.5, tenants: int = 4, tracer=None
+    sim_seconds: float = 0.5, tenants: int = 4, tracer=None, num_queues: int = 0
 ) -> Dict[str, Any]:
     """End-to-end DDRR hot loop: backlogged 4K chunks through the
     scheduler and device, reported as completed chunks per wall second.
 
     ``tracer`` (a :class:`repro.obs.Tracer`, typically with
     ``enabled=False``) is installed on the scheduler and device — the
-    knob behind the tracing-overhead gate in the perf harness."""
+    knob behind the tracing-overhead gate in the perf harness.
+    ``num_queues > 0`` swaps the device for a multi-queue
+    :class:`~repro.ssd.NvmeDevice` with that many SQ/CQ pairs (the
+    ``nvme`` harness stage)."""
     from repro.core.calibration import reference_calibration
     from repro.core.scheduler import LibraScheduler
     from repro.core.tags import IoTag, RequestClass
     from repro.core.vop import make_cost_model
     from repro.sim import Simulator
-    from repro.ssd import SsdDevice, get_profile
+    from repro.ssd import NvmeDevice, SsdDevice, get_profile
 
     import random
 
     profile = get_profile("intel320")
     sim = Simulator()
-    device = SsdDevice(sim, profile, seed=3, tracer=tracer)
+    if num_queues > 0:
+        profile = profile.with_queues(num_queues)
+        device = NvmeDevice(sim, profile, seed=3, tracer=tracer)
+    else:
+        device = SsdDevice(sim, profile, seed=3, tracer=tracer)
     cost_model = make_cost_model("exact", reference_calibration(profile.name))
     scheduler = LibraScheduler(sim, device, cost_model, tracer=tracer)
     share = cost_model.max_iop / tenants

@@ -79,18 +79,21 @@ def _measure(
     start = sim.now
     horizon = start + warmup + duration
 
-    def worker():
+    def worker(ctx):
         while sim.now < horizon:
             offset = rng.randrange(0, max_slot) * page
             if kind == OpKind.READ:
-                yield device.read(offset, size)
+                yield device.read(offset, size, ctx)
             else:
-                yield device.write(offset, size)
+                yield device.write(offset, size, ctx)
             if sim.now >= start + warmup:
                 done["n"] += 1
 
-    for _ in range(profile.queue_depth):
-        sim.process(worker())
+    # One backlogged submitter per host queue slot; each carries a
+    # submitter identity so multi-queue devices spread them over SQs
+    # (a SATA device ignores ctx entirely).
+    for i in range(device.queue_depth):
+        sim.process(worker((None, f"cal{i}")))
     sim.run(until=horizon)
     return done["n"] / duration
 
@@ -106,9 +109,16 @@ def calibrate_device(
 
     One shared device instance is used across points (like benchmarking
     a single physical drive), so later points see an aged FTL.
+    Profiles with ``num_queues > 1`` are calibrated on the multi-queue
+    :class:`~repro.ssd.NvmeDevice`.
     """
     sim = Simulator()
-    device = SsdDevice(sim, profile, seed=seed)
+    if profile.num_queues > 1:
+        from ..ssd.nvme import NvmeDevice
+
+        device = NvmeDevice(sim, profile, seed=seed)
+    else:
+        device = SsdDevice(sim, profile, seed=seed)
     read_iops, write_iops = {}, {}
     for size in sizes:
         read_iops[size] = _measure(sim, device, OpKind.READ, size, duration, warmup, seed)
@@ -146,6 +156,11 @@ _register_reference(
     read={1024: 58986.7, 2048: 52891.7, 4096: 43833.3, 8192: 32651.7, 16384: 21615.0, 32768: 12885.0, 65536: 7080.0, 131072: 3758.3, 262144: 1936.7},
     write={1024: 18148.3, 2048: 21908.3, 4096: 20545.0, 8192: 14860.0, 16384: 9465.0, 32768: 5265.0, 65536: 2618.3, 131072: 1478.3, 262144: 741.7},
 )
+_register_reference(
+    'nvme',
+    read={1024: 194100.0, 2048: 149066.7, 4096: 101655.0, 8192: 53825.0, 16384: 29888.3, 32768: 16805.0, 65536: 9068.3, 131072: 4755.0, 262144: 2510.0},
+    write={1024: 20656.7, 2048: 23843.3, 4096: 24753.3, 8192: 17101.7, 16384: 11405.0, 32768: 6935.0, 65536: 3715.0, 131072: 1858.3, 262144: 886.7},
+)
 
 
 _FRESH_CACHE: Dict[SsdProfile, CalibrationResult] = {}
@@ -171,7 +186,7 @@ def reference_calibration(profile) -> CalibrationResult:
 def _main() -> None:  # pragma: no cover - regeneration utility
     import sys
 
-    for name in ("intel320", "samsung840", "oczvector"):
+    for name in ("intel320", "samsung840", "oczvector", "nvme"):
         result = calibrate_device(get_profile(name))
         print("_register_reference(")
         print(f"    {name!r},")

@@ -450,7 +450,11 @@ class LibraScheduler:
         self._queued -= 1
         if self.dispatch_observer is not None:
             self.dispatch_observer(task.tag, task.kind, chunk.size, cost)
-        ctx = None
+        # ctx rides along to the device: trace id for span attribution
+        # and tenant identity for NVMe per-submitter queue mapping.  It
+        # never influences SATA-device timing, so always passing it is
+        # free of behavior change there.
+        ctx = (task.tag.trace, task.tag.tenant)
         tr = self.tracer
         if tr is not None and tr.enabled:
             now = self.sim.now
@@ -459,7 +463,6 @@ class LibraScheduler:
                 chunk.t_mark, now, trace=task.tag.trace,
             )
             chunk.t_mark = now  # service span starts here
-            ctx = (task.tag.trace, task.tag.tenant)
         # Slim dispatch: the device invokes ``_complete(chunk, result)``
         # directly — on its fast path from the one scheduled finish
         # action (no Event, no Process, no per-chunk partial), on the

@@ -31,8 +31,8 @@ __all__ = ["main", "FIGURES"]
 FIGURES = (
     "fig2", "fig3", "fig4", "fig5", "fig6",
     "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
-    "chaosfig", "clusterfig", "epochfig", "obsfig", "partitionfig",
-    "scalefig",
+    "chaosfig", "clusterfig", "devicefig", "epochfig", "obsfig",
+    "partitionfig", "scalefig",
 )
 
 

@@ -91,6 +91,16 @@ class SteadyStateMonitor:
             return False, "backlog"
         if self.device.in_flight > 0:
             return False, "inflight"
+        # Multi-queue devices: every SQ must be drained, not just the
+        # aggregate — a command parked in one submission queue (or
+        # waiting on a controller tag) keeps the timeline stateful even
+        # when other queues are idle.
+        queue_backlogs = getattr(self.device, "queue_backlogs", None)
+        if queue_backlogs is not None and any(queue_backlogs):
+            return False, "sq-backlog"
+        fetch_backlogs = getattr(self.device, "fetch_backlogs", None)
+        if fetch_backlogs is not None and any(fetch_backlogs):
+            return False, "sq-fetch"
         if getattr(self.device, "gc_running", False):
             return False, "gc"
         ftl = getattr(self.device, "ftl", None)

@@ -3,14 +3,37 @@
 from .device import SsdDevice
 from .filesystem import IoBackend, OutOfSpace, RawBackend, SimFile, SimFilesystem
 from .ftl import Ftl, GcMove, WritePlan
-from .profiles import PROFILES, SsdProfile, get_profile, intel320, oczvector, samsung840
+from .ftl_policy import (
+    FTL_POLICIES,
+    CostBenefitGcPolicy,
+    FtlPolicy,
+    GreedyGcPolicy,
+    HotColdPolicy,
+    make_ftl_policy,
+)
+from .nvme import NvmeDevice
+from .profiles import (
+    PROFILES,
+    SsdProfile,
+    get_profile,
+    intel320,
+    nvme,
+    oczvector,
+    samsung840,
+)
 from .stats import SsdStats
 from .surrogate import SurrogateDevice, SurrogateModel, fit_surrogate
 
 __all__ = [
+    "CostBenefitGcPolicy",
+    "FTL_POLICIES",
     "Ftl",
+    "FtlPolicy",
     "GcMove",
+    "GreedyGcPolicy",
+    "HotColdPolicy",
     "IoBackend",
+    "NvmeDevice",
     "OutOfSpace",
     "PROFILES",
     "RawBackend",
@@ -21,10 +44,12 @@ __all__ = [
     "SsdStats",
     "SurrogateDevice",
     "SurrogateModel",
-    "fit_surrogate",
     "WritePlan",
+    "fit_surrogate",
     "get_profile",
     "intel320",
+    "make_ftl_policy",
+    "nvme",
     "oczvector",
     "samsung840",
 ]

@@ -23,6 +23,7 @@ from typing import Deque, List, Optional, Tuple
 
 import numpy as np
 
+from .ftl_policy import make_ftl_policy
 from .profiles import SsdProfile
 
 __all__ = ["Ftl", "WritePlan", "GcMove"]
@@ -60,11 +61,20 @@ class GcMove:
 
 
 class Ftl:
-    """Log-structured page-mapped FTL with greedy garbage collection."""
+    """Log-structured page-mapped FTL with pluggable GC/stream policy.
 
-    def __init__(self, profile: SsdProfile, seed: int = 0):
+    ``policy`` (a name, class, or :class:`~repro.ssd.ftl_policy.FtlPolicy`
+    instance; default from ``profile.ftl_policy``) owns victim selection
+    and host write-stream routing; the mechanism here — page map, append
+    streams, evacuate-and-erase — is policy-independent.
+    """
+
+    def __init__(self, profile: SsdProfile, seed: int = 0, policy=None):
         self.profile = profile
         self.rng = random.Random(seed)
+        if policy is None:
+            policy = getattr(profile, "ftl_policy", "greedy")
+        self.policy = make_ftl_policy(policy)
         n_pages = profile.logical_pages
         n_blocks = profile.physical_blocks
         if n_blocks <= profile.gc_reserve_blocks + 2 * profile.channels:
@@ -82,15 +92,28 @@ class Ftl:
         #: pages that were since overwritten; bounded by pages_per_block)
         self.block_pages: List[List[int]] = [[] for _ in range(n_blocks)]
         self.free_blocks: Deque[int] = deque(range(n_blocks))
-        #: per-channel active block for host writes / for GC writes
-        self._host_active: List[Optional[int]] = [None] * profile.channels
-        self._host_fill: List[int] = [0] * profile.channels
+        #: host page-write clock and per-block birth stamp (block age for
+        #: cost-benefit scoring; maintained unconditionally — two integer
+        #: stores per append)
+        self.write_seq = 0
+        self.block_seq = np.zeros(n_blocks, dtype=np.int64)
+        #: per-stream, per-channel active block for host writes; GC keeps
+        #: its own single stream of destination blocks
+        n_streams = self.policy.n_streams
+        self._host_active: List[List[Optional[int]]] = [
+            [None] * profile.channels for _ in range(n_streams)
+        ]
+        self._host_fill: List[List[int]] = [
+            [0] * profile.channels for _ in range(n_streams)
+        ]
+        self._host_cursor = [0] * n_streams
         self._gc_active: List[Optional[int]] = [None] * profile.channels
         self._gc_fill: List[int] = [0] * profile.channels
-        self._host_cursor = 0
         self._gc_cursor = 0
+        self._routed = n_streams > 1
         self._in_gc = False
         self.emergency_gcs = 0
+        self.policy.bind(self)
         # Watermarks depend only on construction-time constants; they
         # are precomputed because gc_needed/host_starved sit on the
         # per-op hot path (consulted at every write completion).
@@ -197,19 +220,25 @@ class Ftl:
         no in-place update), so sub-page writes still program a whole
         page — the cost-per-byte penalty of small writes.  Pages are
         striped in ``stripe_pages`` chunks over consecutive channels
-        starting from a rotating cursor, so concurrent small ops spread
-        across channels while one large op parallelizes internally.
+        starting from the write stream's rotating cursor, so concurrent
+        small ops spread across channels while one large op parallelizes
+        internally.  Multi-stream policies route the whole op to one
+        stream (op-granularity separation, as NVMe write streams do).
         """
         pages = self._page_range(offset, size)
+        stream = self.policy.route(self, pages) if self._routed else 0
         programs = [0] * self.profile.channels
         nchan = self.profile.channels
         stripe = self.profile.stripe_pages
-        start = self._host_cursor
-        self._host_cursor = (start + 1) % nchan
+        cursor = self._host_cursor
+        start = cursor[stream]
+        cursor[stream] = (start + 1) % nchan
         for i, p in enumerate(pages):
             chan = (start + i // stripe) % nchan
-            self._append_page(p, gc=False, channel=chan)
+            self._append_page(p, gc=False, channel=chan, stream=stream)
             programs[chan] += 1
+        if self._routed:
+            self.policy.note_host_write(self, pages)
         return WritePlan(
             programs=[(c, n) for c, n in enumerate(programs) if n],
             pages=len(pages),
@@ -226,7 +255,9 @@ class Ftl:
                 freed += 1
         return freed
 
-    def _append_page(self, logical_page: int, gc: bool, channel: int) -> int:
+    def _append_page(
+        self, logical_page: int, gc: bool, channel: int, stream: int = 0
+    ) -> int:
         """Append one logical page to ``channel``'s active block.
 
         Invalidates the previous copy.  Returns the channel (for
@@ -235,9 +266,11 @@ class Ftl:
         old = self.page_to_block[logical_page]
         if old != UNMAPPED:
             self.block_valid[old] -= 1
-        active, fill = (
-            (self._gc_active, self._gc_fill) if gc else (self._host_active, self._host_fill)
-        )
+        if gc:
+            active, fill = self._gc_active, self._gc_fill
+        else:
+            active, fill = self._host_active[stream], self._host_fill[stream]
+            self.write_seq += 1
         block = active[channel]
         if block is None or fill[channel] >= self.profile.pages_per_block:
             block = self._allocate_block(channel)
@@ -267,22 +300,22 @@ class Ftl:
         block = self.free_blocks.popleft()
         self.block_channel[block] = channel
         self.block_pages[block] = []
+        self.block_seq[block] = self.write_seq
         return block
 
     # -- garbage collection ----------------------------------------------------
 
-    _INF_VALID = 1 << 30
+    def active_blocks(self) -> List[Optional[int]]:
+        """All blocks currently open for appends (never GC victims)."""
+        out: List[Optional[int]] = []
+        for lane in self._host_active:
+            out.extend(lane)
+        out.extend(self._gc_active)
+        return out
 
     def pick_victim(self) -> Optional[int]:
-        """Greedy victim choice: the closed block with fewest live pages."""
-        cost = np.where(self.block_channel >= 0, self.block_valid, self._INF_VALID)
-        for b in self._host_active + self._gc_active:
-            if b is not None:
-                cost[b] = self._INF_VALID
-        victim = int(np.argmin(cost))
-        if cost[victim] >= self._INF_VALID:
-            return None
-        return victim
+        """Policy-chosen victim: the next closed block GC should evacuate."""
+        return self.policy.select_victim(self)
 
     def collect_victim(self) -> Optional[GcMove]:
         """Evacuate and erase the best victim block.
@@ -350,7 +383,7 @@ class Ftl:
             if self.gc_needed:
                 self._sync_gc()
         for i in range(int(n_pages * age_factor)):
-            chan = (self._host_cursor + i) % nchan
+            chan = (self._host_cursor[0] + i) % nchan
             self._append_page(self.rng.randrange(n_pages), gc=False, channel=chan)
             if self.gc_needed:
                 self._sync_gc()

@@ -19,9 +19,12 @@ write sizes, per Fig 7).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict
+from typing import Dict, Optional, Tuple
 
-__all__ = ["SsdProfile", "PROFILES", "get_profile", "intel320", "samsung840", "oczvector"]
+__all__ = [
+    "SsdProfile", "PROFILES", "get_profile",
+    "intel320", "samsung840", "oczvector", "nvme",
+]
 
 KIB = 1024
 MIB = 1024 * 1024
@@ -36,7 +39,13 @@ class SsdProfile:
 
     name: str
     # Host interface / controller ------------------------------------------
-    queue_depth: int = 32            # NCQ depth (paper runs everything at 32)
+    queue_depth: int = 32            # per-queue depth (paper runs NCQ at 32)
+    # NVMe queue architecture (ignored by the SATA SsdDevice; consumed by
+    # repro.ssd.nvme.NvmeDevice) ---------------------------------------------
+    num_queues: int = 1              # submission/completion queue pairs
+    arbitration: str = "rr"          # SQ arbitration: "rr" | "wrr"
+    wrr_weights: Optional[Tuple[int, ...]] = None  # per-SQ WRR credits
+    core_tags: int = 0               # controller command tags (0 -> 2 * depth)
     ctrl_overhead_read: float = 22e-6   # fixed controller cost per read op
     ctrl_overhead_write: float = 55e-6  # fixed controller cost per write op
     # (writes cost more controller/firmware time than reads: mapping
@@ -60,6 +69,7 @@ class SsdProfile:
     gc_low_watermark: float = 0.06   # start GC below this free-block frac
     gc_high_watermark: float = 0.10  # stop GC above this
     gc_reserve_blocks: int = 8       # always keep at least this many free
+    ftl_policy: str = "greedy"       # see repro.ssd.ftl_policy.FTL_POLICIES
 
     @property
     def block_size(self) -> int:
@@ -88,6 +98,35 @@ class SsdProfile:
         quickly; the performance constants are capacity-independent.
         """
         return replace(self, logical_capacity=logical_capacity)
+
+    def with_overprovision(self, overprovision: float) -> "SsdProfile":
+        """Clone the profile with a different overprovisioning ratio.
+
+        ``overprovision`` is spare-physical / logical (0.07 = 7% spare),
+        the FTL design-space knob: less spare capacity means GC runs
+        hotter and write amplification climbs.
+        """
+        if overprovision <= 0:
+            raise ValueError(f"overprovision {overprovision} must be positive")
+        return replace(self, overprovision=overprovision)
+
+    def with_queues(
+        self,
+        num_queues: int,
+        arbitration: str = "rr",
+        wrr_weights: Optional[Tuple[int, ...]] = None,
+    ) -> "SsdProfile":
+        """Clone the profile with an NVMe queue configuration."""
+        if num_queues < 1:
+            raise ValueError(f"num_queues {num_queues} must be >= 1")
+        if wrr_weights is not None and len(wrr_weights) != num_queues:
+            raise ValueError(
+                f"wrr_weights {wrr_weights} must have {num_queues} entries"
+            )
+        return replace(
+            self, num_queues=num_queues, arbitration=arbitration,
+            wrr_weights=wrr_weights,
+        )
 
 
 #: Intel 320 series, SATA II (3 Gbps).  The paper's primary device:
@@ -125,8 +164,26 @@ oczvector = SsdProfile(
     erase_latency=3.0e-3,
 )
 
+#: A PCIe/NVMe-generation drive for the device design-space sweeps
+#: (experiments/devicefig): eight SQ/CQ pairs, a faster link, and lower
+#: per-command firmware cost — the controller stops being the IOP
+#: bottleneck and the flash channels take over.
+nvme = SsdProfile(
+    name="nvme",
+    num_queues=8,
+    ctrl_overhead_read=8e-6,
+    ctrl_overhead_write=18e-6,
+    ctrl_byte_cost=1.0 / (1600 * MIB),
+    channels=16,
+    read_access=50e-6,
+    read_byte_cost=1.0 / (44 * MIB),
+    prog_latency=500e-6,
+    write_byte_cost=1.0 / (36 * MIB),
+    erase_latency=2.0e-3,
+)
+
 PROFILES: Dict[str, SsdProfile] = {
-    p.name: p for p in (intel320, samsung840, oczvector)
+    p.name: p for p in (intel320, samsung840, oczvector, nvme)
 }
 
 

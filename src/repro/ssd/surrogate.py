@@ -38,6 +38,8 @@ CLI::
 
     python -m repro.ssd.surrogate --fit            # refit + rewrite JSON
     python -m repro.ssd.surrogate --report out.json  # accuracy report
+    python -m repro.ssd.surrogate --profile all --report out.json
+                                                   # every committed fit
     python -m repro.ssd.surrogate --smoke          # tiny grid, stdout
 """
 
@@ -63,6 +65,7 @@ __all__ = [
     "SurrogateModel",
     "default_artifact_path",
     "fit_surrogate",
+    "fitted_profiles",
     "surrogate_report",
 ]
 
@@ -83,6 +86,16 @@ _EWMA_ALPHA = 0.02
 def default_artifact_path(profile_name: str) -> str:
     """The committed JSON artifact for ``profile_name`` (next to this file)."""
     return os.path.join(os.path.dirname(__file__), f"surrogate_{profile_name}.json")
+
+
+def fitted_profiles() -> List[str]:
+    """Profile names with a committed surrogate artifact, sorted."""
+    here = os.path.dirname(__file__)
+    names = []
+    for entry in os.listdir(here):
+        if entry.startswith("surrogate_") and entry.endswith(".json"):
+            names.append(entry[len("surrogate_"):-len(".json")])
+    return sorted(names)
 
 
 # ---------------------------------------------------------------------------
@@ -466,12 +479,23 @@ def main(argv=None) -> int:
                   + ", ".join(f"{e:.1%}" for e in errs))
         return 0
     if args.report:
-        report = surrogate_report(args.profile)
+        if args.profile == "all":
+            names = fitted_profiles()
+            report = {
+                "profiles": {name: surrogate_report(name) for name in names}
+            }
+            summary = {
+                name: report["profiles"][name]["mean_abs_rel_error"]
+                for name in names
+            }
+        else:
+            report = surrogate_report(args.profile)
+            summary = report["mean_abs_rel_error"]
         with open(args.report, "w") as fh:
             json.dump(report, fh, indent=1, sort_keys=True)
             fh.write("\n")
         print(f"wrote {args.report}")
-        print(json.dumps(report["mean_abs_rel_error"], indent=2))
+        print(json.dumps(summary, indent=2))
         return 0
     parser.error("one of --fit, --smoke, --report is required")
     return 2  # pragma: no cover

@@ -475,6 +475,7 @@ def run_epoch_trial(
     headroom: float = 0.85,
     audit: bool = False,
     device_seed: int = 11,
+    device: str = "ssd",
 ) -> EpochTrialResult:
     """Run one open-loop multi-tenant trial over ``horizon`` seconds.
 
@@ -485,11 +486,21 @@ def run_epoch_trial(
     DES run exactly (see module docstring).  ``audit=True`` attaches a
     :class:`~repro.obs.VopAudit` and stores its :meth:`summary` —
     fast-forwarded charges reconcile at 1.0000 by construction.
+    ``device="nvme"`` runs the trial on the multi-queue
+    :class:`~repro.ssd.NvmeDevice` (epoch accounting is inherited, so
+    fast-forward agrees with DES there too).
     """
     if horizon <= 0:
         raise ValueError(f"horizon must be positive, got {horizon}")
     sim = Simulator()
-    device = SsdDevice(sim, profile, seed=device_seed, fault_plan=fault_plan)
+    if device == "ssd":
+        device = SsdDevice(sim, profile, seed=device_seed, fault_plan=fault_plan)
+    elif device == "nvme":
+        from ..ssd.nvme import NvmeDevice
+
+        device = NvmeDevice(sim, profile, seed=device_seed, fault_plan=fault_plan)
+    else:
+        raise ValueError(f"unknown device kind {device!r} (ssd|nvme)")
     if isinstance(cost_model, str):
         cost_model = make_cost_model(cost_model, reference_calibration(profile.name))
     scheduler = LibraScheduler(sim, device, cost_model, config=scheduler_config)

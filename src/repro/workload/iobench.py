@@ -111,7 +111,9 @@ class DeviceEnv:
     (:class:`~repro.ssd.SurrogateDevice`) — no FTL, no preconditioning,
     latencies sampled from the committed surrogate artifact — for
     sweeps where distribution shape matters more than structural
-    fidelity.
+    fidelity.  ``device="nvme"`` builds the multi-queue
+    :class:`~repro.ssd.NvmeDevice` (queue count/arbitration from the
+    profile's NVMe fields).
     """
 
     def __init__(self, profile: SsdProfile, seed: int = 11, device: str = "ssd"):
@@ -119,12 +121,16 @@ class DeviceEnv:
         self.sim = Simulator()
         if device == "ssd":
             self.device = SsdDevice(self.sim, profile, seed=seed)
+        elif device == "nvme":
+            from ..ssd.nvme import NvmeDevice
+
+            self.device = NvmeDevice(self.sim, profile, seed=seed)
         elif device == "surrogate":
             from ..ssd.surrogate import SurrogateDevice
 
             self.device = SurrogateDevice(self.sim, profile, seed=seed)
         else:
-            raise ValueError(f"unknown device kind {device!r} (ssd|surrogate)")
+            raise ValueError(f"unknown device kind {device!r} (ssd|nvme|surrogate)")
 
 
 def run_raw_trial(
@@ -232,6 +238,7 @@ def run_interference_trial(
     seed: int = 7,
     cost_model: Union[str, CostModel] = "exact",
     env: Optional[DeviceEnv] = None,
+    audit=None,
 ) -> TrialResult:
     """The Fig 4 experiment at one grid point.
 
@@ -263,6 +270,7 @@ def run_interference_trial(
         seed=seed,
         cost_model=cost_model,
         env=env,
+        audit=audit,
     )
 
 

@@ -50,3 +50,31 @@ def test_sata3_profiles_are_faster():
         assert other.max_iop > intel.max_iop
         # Large-read bandwidth is roughly doubled on SATA III.
         assert other.read_iops[262144] > intel.read_iops[262144] * 1.5
+
+
+def test_nvme_reference_clears_sata_iop_ceiling():
+    """The embedded 8-queue NVMe curve: per-queue controller lanes put
+    small-read IOP/s far above any single-controller SATA profile."""
+    nvme = reference_calibration("nvme")
+    for name in ("intel320", "samsung840", "oczvector"):
+        sata = reference_calibration(name)
+        assert nvme.read_iops[1024] > 2.0 * sata.read_iops[1024], name
+    # Large ops converge toward bandwidth limits, not 8x.
+    assert nvme.read_iops[262144] < 2.0 * reference_calibration(
+        "samsung840"
+    ).read_iops[262144]
+
+
+@pytest.mark.slow
+def test_nvme_reference_matches_fresh_sweep():
+    reference = reference_calibration("nvme")
+    # Longer windows than the SATA check: the 256-entry aggregate queue
+    # needs more completions per point before the rate estimate settles.
+    fresh = calibrate_device(get_profile("nvme"), duration=0.8, warmup=0.3)
+    for size in (1024, 16384, 262144):
+        assert fresh.read_iops[size] == pytest.approx(
+            reference.read_iops[size], rel=0.12
+        ), ("read", size)
+        assert fresh.write_iops[size] == pytest.approx(
+            reference.write_iops[size], rel=0.3
+        ), ("write", size)

@@ -14,8 +14,8 @@ from repro.experiments.fig4 import Fig4Result
 
 def test_figure_registry_complete():
     assert FIGURES == tuple(f"fig{i}" for i in range(2, 13)) + (
-        "chaosfig", "clusterfig", "epochfig", "obsfig", "partitionfig",
-        "scalefig",
+        "chaosfig", "clusterfig", "devicefig", "epochfig", "obsfig",
+        "partitionfig", "scalefig",
     )
 
 
@@ -79,6 +79,35 @@ def test_fig4_result_grid_orientation():
     # rows: write sizes large->small; cols: read sizes small->large
     assert grid == [[2.0, 4.0], [1.0, 3.0]]
     assert result.floor == 1.0 and result.peak == 4.0
+
+
+def test_devicefig_smoke_runs_and_renders():
+    from repro.experiments import devicefig
+
+    result = devicefig.run(smoke=True, seed=17)
+    assert result.mode == "smoke"
+    # 2 devices x 2 policies x 1 overprovision point
+    assert len(result.cells) == 4
+    for metrics in result.cells.values():
+        assert metrics["read_vops"] > 0
+        assert metrics["write_amp"] >= 1.0
+        assert 0.0 < metrics["insulation"] <= 1.0
+    # The pinned legs run even in smoke mode.
+    assert result.audit["ok"], result.audit["flags"]
+    assert result.ff_agree["tasks"] and result.ff_agree["audit"]
+    text = devicefig.render(result)
+    assert "Conclusions" in text
+    assert "valley" in text
+    assert "reconciliation" in text
+
+
+def test_devicefig_smoke_jobs_byte_identical():
+    from repro.experiments import devicefig
+
+    serial = devicefig.run(smoke=True, seed=23, jobs=1)
+    fanned = devicefig.run(smoke=True, seed=23, jobs=2)
+    assert devicefig.render(serial) == devicefig.render(fanned)
+    assert serial.cells == fanned.cells
 
 
 def test_fig3_quick_subset_runs():

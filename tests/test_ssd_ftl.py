@@ -178,7 +178,7 @@ def test_gc_victim_excludes_active_blocks():
     ftl.precondition(age_factor=1.0)
     victim = ftl.pick_victim()
     assert victim is not None
-    active = {b for b in ftl._host_active + ftl._gc_active if b is not None}
+    active = {b for b in ftl.active_blocks() if b is not None}
     assert victim not in active
 
 

@@ -35,10 +35,17 @@ PROFILE = get_profile("intel320")
 # ---------------------------------------------------------------------------
 
 
-def test_committed_artifact_schema():
-    with open(default_artifact_path("intel320")) as fh:
+def test_fitted_profiles_covers_all_three():
+    from repro.ssd.surrogate import fitted_profiles
+
+    assert fitted_profiles() == ["intel320", "oczvector", "samsung840"]
+
+
+@pytest.mark.parametrize("name", ["intel320", "samsung840", "oczvector"])
+def test_committed_artifact_schema(name):
+    with open(default_artifact_path(name)) as fh:
         artifact = json.load(fh)
-    assert artifact["profile"] == "intel320"
+    assert artifact["profile"] == name
     assert tuple(artifact["quantiles"]) == FIT_QUANTILES
     for kind in ("read", "write"):
         coef = artifact["coef"][kind]
@@ -51,8 +58,9 @@ def test_committed_artifact_schema():
     assert tuple(grid["mixes"]) == FIT_MIXES
 
 
-def test_model_loads_and_curves_are_monotone_positive():
-    model = SurrogateModel.load("intel320")
+@pytest.mark.parametrize("name", ["intel320", "samsung840", "oczvector"])
+def test_model_loads_and_curves_are_monotone_positive(name):
+    model = SurrogateModel.load(name)
     for kind in (OpKind.READ, OpKind.WRITE):
         for size in (4 * KIB, 64 * KIB, 256 * KIB):
             for qd in (1, 8, 64):
