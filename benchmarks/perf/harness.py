@@ -8,7 +8,10 @@ the :mod:`repro.net` fabric (RPC round trips per second at RF=1 vs
 RF=2, plus the replication write-amplification overhead), the epoch
 fast-forward bench (steady-state hybrid-simulation throughput, gated
 on exact agreement with the event-by-event run and on the VOP audit
-reconciling), the control-plane bench (partition-map mutation
+reconciling), the loaded-epoch bench (the same contract under
+persistently non-empty queues, covered by the fluid DDRR engine and
+additionally gated on a 70% fast-forward-fraction floor), the
+control-plane bench (partition-map mutation
 throughput plus the VOP overhead of growing a node mid-workload,
 gated on zero acked-write loss across the live migrations), and the
 tracing-overhead gate (a disabled
@@ -79,6 +82,8 @@ HEADLINE_METRICS = (
     ("scheduler.ops_per_sec", ("scheduler", "ops_per_sec")),
     ("nvme.ops_per_sec", ("nvme", "ops_per_sec")),
     ("epoch.ops_per_sec", ("epoch", "ops_per_sec")),
+    ("epoch_loaded.ops_per_sec", ("epoch_loaded", "ops_per_sec")),
+    ("epoch_loaded.ff_fraction", ("epoch_loaded", "ff_fraction")),
     ("control.map_changes_per_sec", ("control", "map_changes_per_sec")),
 )
 
@@ -152,7 +157,13 @@ def check_regression(
 
 def append_history(results: Dict[str, Any], smoke: bool, path: str = HISTORY_PATH) -> None:
     """Append this run's headline numbers to the perf trajectory log and
-    report the speedup against the previous same-mode entry."""
+    report the speedup against the previous same-mode entry.
+
+    Smoke and full runs have wildly different scales, so the comparison
+    only ever looks at the most recent entry with the *same* ``smoke``
+    flag, and the appended line records what it was compared against
+    (``compared_to``) so the trajectory log is self-describing.
+    """
     previous = None
     try:
         with open(path) as fh:
@@ -168,28 +179,40 @@ def append_history(results: Dict[str, Any], smoke: bool, path: str = HISTORY_PAT
                     previous = entry
     except OSError:
         pass
+    mode = "smoke" if smoke else "full"
+    headline = _headline(results)
     record = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "git_sha": _git_sha(),
         "smoke": smoke,
-        **_headline(results),
+        "compared_to": (
+            f"{previous.get('git_sha', '?')} @ "
+            f"{previous.get('timestamp', '?')} ({mode})"
+            if previous is not None
+            else None
+        ),
+        **headline,
     }
     with open(path, "a") as fh:
         fh.write(json.dumps(record, sort_keys=False) + "\n")
-    for label in record:
+    # Only the headline metrics participate in the speedup report — the
+    # bookkeeping fields also live in ``record`` (and ``smoke`` is a
+    # bool, which *is* an int to isinstance), so iterating the record
+    # itself would emit nonsense ratios.
+    for label in headline:
         if previous is None:
             break
         prev = previous.get(label)
-        if not isinstance(prev, (int, float)) or not prev:
+        if isinstance(prev, bool) or not isinstance(prev, (int, float)) or not prev:
             continue
-        speedup = record[label] / prev
+        speedup = headline[label] / prev
         print(
-            f"[perf]   history {label}: {speedup:.2f}x vs previous "
+            f"[perf]   history {label}: {speedup:.2f}x vs previous {mode} "
             f"({previous.get('git_sha', '?')} @ {previous.get('timestamp', '?')})",
             file=sys.stderr,
         )
     if previous is None:
-        print("[perf]   history: first entry for this mode", file=sys.stderr)
+        print(f"[perf]   history: first entry for {mode} mode", file=sys.stderr)
 
 
 def _tiny_mode():
@@ -375,6 +398,14 @@ def _bench_obs(smoke: bool, trace_path: str) -> Dict[str, Any]:
         if retry < overhead:
             overhead, base_best, disabled_best = retry, retry_base, retry_disabled
 
+    # A negative estimate just means the no-tracer side lost the jitter
+    # lottery — both sides are best-of-N of the same loop, so the true
+    # overhead cannot be below zero.  Clamp for the recorded number
+    # (a "-0.15%" overhead in the JSON reads as a measurement bug),
+    # keep the raw value, and mark the measurement as noise-dominated.
+    noisy = overhead < 0.0
+    clamped = max(overhead, 0.0)
+
     tracer = Tracer()
     traced = scheduler_ops_per_sec(sim_seconds=sim_seconds, tracer=tracer)
     tracer.export_chrome(trace_path)
@@ -383,8 +414,10 @@ def _bench_obs(smoke: bool, trace_path: str) -> Dict[str, Any]:
         "repeats": repeats,
         "ops_per_sec_no_tracer": round(base_best, 1),
         "ops_per_sec_tracer_disabled": round(disabled_best, 1),
-        "disabled_overhead": round(overhead, 4),
-        "disabled_overhead_ok": overhead <= 0.02,
+        "disabled_overhead": round(clamped, 4),
+        "disabled_overhead_raw": round(overhead, 4),
+        "noisy": noisy,
+        "disabled_overhead_ok": clamped <= 0.02,
         "traced_spans": tracer.span_count,
         "traced_ops": traced["ops"],
         "trace_path": os.path.basename(trace_path),
@@ -455,6 +488,89 @@ def _bench_epoch(smoke: bool, profile: bool) -> Dict[str, Any]:
         else 0.0,
         "agreement_ok": agreement_ok,
         "audit_reconciliation": round(summary["reconciliation"], 6),
+        "audit_ok": summary["ok"],
+    }
+
+
+def _bench_epoch_loaded(smoke: bool, profile: bool) -> Dict[str, Any]:
+    """Fluid (stable-backlog) fast-forward throughput under load.
+
+    Four read-only open-loop tenants at 75% of the provisioned VOP
+    capacity — queues stay persistently non-empty, so the quiet regime
+    never applies and coverage comes from the fluid engine's analytic
+    DDRR round schedule.  Records best-of-N completed tasks per wall
+    second with ``fast_forward=True`` plus the fast-forwarded fraction
+    of the horizon; both are headline metrics
+    (``epoch_loaded.ops_per_sec``, ``epoch_loaded.ff_fraction``).
+
+    Hard gates on the harness exit code: the same seed replayed
+    event-by-event must agree exactly on tasks/ops/bytes (VOPs to
+    float tolerance), the audit must reconcile at 1.0, and the fluid
+    regime must cover at least 70% of the horizon — losing coverage is
+    losing the optimisation this stage exists to track.
+    """
+    from repro.core.calibration import reference_calibration
+    from repro.core.tags import OpKind
+    from repro.core.vop import make_cost_model
+    from repro.ssd import get_profile
+    from repro.workload import EpochTenantSpec, run_epoch_trial
+
+    horizon = 4.0 if smoke else 10.0
+    repeats = 2 if smoke else 3
+    device_profile = get_profile("intel320")
+    model = make_cost_model("exact", reference_calibration("intel320"))
+    rate = 0.75 * model.max_iop / model.cost(OpKind.READ, 4096) / 4
+    specs = [
+        EpochTenantSpec(name=f"t{i}", rate=rate, read_fraction=1.0)
+        for i in range(4)
+    ]
+
+    def one_ff():
+        return run_epoch_trial(
+            device_profile, specs, horizon=horizon, seed=7, fast_forward=True
+        )
+
+    best = _maybe_profiled(profile, "epoch fast-forward (loaded read)", one_ff)
+    for _ in range(repeats - 1):
+        trial = one_ff()
+        if trial.tasks_per_wall_second > best.tasks_per_wall_second:
+            best = trial
+
+    des = run_epoch_trial(
+        device_profile, specs, horizon=horizon, seed=7, fast_forward=False
+    )
+    agreement_ok = (
+        des.total_tasks == best.total_tasks
+        and des.total_ops == best.total_ops
+        and des.total_bytes == best.total_bytes
+        and abs(des.total_vops - best.total_vops)
+        <= 1e-6 * max(des.total_vops, 1.0)
+    )
+    audited = run_epoch_trial(
+        device_profile, specs, horizon=min(horizon, 4.0), seed=7,
+        fast_forward=True, audit=True,
+    )
+    summary = audited.audit_summary
+    return {
+        "horizon_sim_seconds": horizon,
+        "repeats": repeats,
+        "tenant_rate": round(rate, 1),
+        "tasks": best.total_tasks,
+        "wall_seconds": round(best.wall_seconds, 3),
+        "ops_per_sec": round(best.tasks_per_wall_second, 1),
+        "ff_fraction": round(best.ff_fraction, 4),
+        "fluid_fraction": round(best.fluid_fraction, 4),
+        "des_reasons": {
+            reason: round(seconds, 4)
+            for reason, seconds in sorted(best.des_reasons.items())
+        },
+        "des_wall_seconds": round(des.wall_seconds, 3),
+        "speedup_vs_des": round(des.wall_seconds / best.wall_seconds, 2)
+        if best.wall_seconds > 0
+        else 0.0,
+        "agreement_ok": agreement_ok,
+        "audit_reconciliation": round(summary["reconciliation"], 6),
+        "audit_epoch_share": round(summary["epoch_share"], 4),
         "audit_ok": summary["ok"],
     }
 
@@ -701,6 +817,17 @@ def run_harness(
         file=sys.stderr,
     )
 
+    print("[perf] epoch fast-forward (loaded stable backlog)...", file=sys.stderr)
+    epoch_loaded = _bench_epoch_loaded(smoke=smoke, profile=profile)
+    print(
+        f"[perf]   {epoch_loaded['ops_per_sec']:.0f} ops/s through the fluid "
+        f"engine ({epoch_loaded['speedup_vs_des']:.1f}x the event-by-event "
+        f"run), ff fraction {epoch_loaded['ff_fraction']:.2f}, "
+        f"agreement={epoch_loaded['agreement_ok']}, "
+        f"audit recon {epoch_loaded['audit_reconciliation']:.4f}",
+        file=sys.stderr,
+    )
+
     print("[perf] control plane: map changes and migration VOPs...", file=sys.stderr)
     control = _bench_control(smoke=smoke, profile=profile)
     print(
@@ -735,6 +862,7 @@ def run_harness(
         "grids": {"fig4": grid},
         "cluster": cluster,
         "epoch": epoch,
+        "epoch_loaded": epoch_loaded,
         "control": control,
         "obs": obs,
     }
@@ -789,6 +917,29 @@ def main(argv=None) -> int:
         print(
             f"[perf] FAIL: epoch fast-forward audit flagged "
             f"(reconciliation {results['epoch']['audit_reconciliation']:.4f})",
+            file=sys.stderr,
+        )
+        return 1
+    if not results["epoch_loaded"]["agreement_ok"]:
+        print(
+            "[perf] FAIL: loaded-epoch fluid fast-forward diverged from the "
+            "event-by-event run",
+            file=sys.stderr,
+        )
+        return 1
+    if not results["epoch_loaded"]["audit_ok"]:
+        print(
+            f"[perf] FAIL: loaded-epoch audit flagged (reconciliation "
+            f"{results['epoch_loaded']['audit_reconciliation']:.4f})",
+            file=sys.stderr,
+        )
+        return 1
+    if results["epoch_loaded"]["ff_fraction"] < 0.70:
+        print(
+            f"[perf] FAIL: loaded-epoch ff fraction "
+            f"{results['epoch_loaded']['ff_fraction']:.2f} below the 0.70 "
+            f"floor (the fluid regime lost coverage; see "
+            f"epoch_loaded.des_reasons for where)",
             file=sys.stderr,
         )
         return 1

@@ -40,7 +40,37 @@ from ..ssd import SsdDevice
 from .tags import IoTag, OpKind
 from .vop import CostModel
 
-__all__ = ["LibraScheduler", "TenantUsage", "SchedulerConfig"]
+__all__ = ["LibraScheduler", "RoundPlan", "TenantUsage", "SchedulerConfig"]
+
+
+@dataclass(frozen=True)
+class RoundPlan:
+    """Analytic description of the DDRR round schedule.
+
+    Produced by :meth:`LibraScheduler.plan_rounds` for the fluid
+    fast-forward engine and for diagnostics: with stationary inputs the
+    dispatcher's behaviour is periodic, so one plan describes every
+    round of an epoch.  ``tenants``/``quanta`` are in the scheduler's
+    registration (round-robin) order; ``service_rates`` is the
+    water-filled steady-state VOP/s each tenant is served when offered
+    demand is supplied — saturated tenants are capped at their fair
+    share (quantum-proportional, with unused capacity redistributed,
+    i.e. DDRR's work-conserving max-min allocation), unsaturated
+    tenants get exactly their offered rate.
+    """
+
+    tenants: Tuple[str, ...]
+    quanta: Tuple[float, ...]
+    round_vops: float
+    round_seconds: float
+    burst_rounds: float
+    chunk_size: int
+    service_rates: Tuple[float, ...]
+
+    @property
+    def cycle_seconds(self) -> float:
+        """Nominal wall time of one full quanta cycle."""
+        return self.round_seconds
 
 
 @dataclass
@@ -320,24 +350,7 @@ class LibraScheduler:
         deficit state carries no scheduling information.
         """
         state = self._state(tag.tenant)
-        key = (kind, size)
-        parts = self._epoch_costs.get(key)
-        if parts is None:
-            chunk_size = self.config.chunk_size
-            split: List[List[int]] = []
-            pos = 0
-            while pos < size:
-                length = min(chunk_size, size - pos)
-                pos += length
-                if split and split[-1][0] == length:
-                    split[-1][1] += 1
-                else:
-                    split.append([length, 1])
-            parts = [
-                (length, n, self.cost_model.cost(kind, length))
-                for length, n in split
-            ]
-            self._epoch_costs[key] = parts
+        parts = self.epoch_chunk_costs(kind, size)
         usage = state.usage
         observer = self.epoch_observer
         total = 0.0
@@ -356,6 +369,98 @@ class LibraScheduler:
                 observer(tag, kind, length, n, vops)
         usage.tasks += 1
         return total
+
+    def epoch_chunk_costs(self, kind: OpKind, size: int) -> List[Tuple[int, int, float]]:
+        """The exact chunk split + per-chunk VOP price for one task.
+
+        ``[(chunk_length, count, vop_cost), ...]`` — the same split
+        ``_submit`` produces and the same price ``_dispatch`` charges,
+        cached per (kind, task size).  Shared by :meth:`credit_epoch`
+        and the fluid fast-forward engine so bulk accounting and the
+        analytic DDRR replay can never price a chunk differently from
+        the event-driven dispatcher.
+        """
+        key = (kind, size)
+        parts = self._epoch_costs.get(key)
+        if parts is None:
+            chunk_size = self.config.chunk_size
+            split: List[List[int]] = []
+            pos = 0
+            while pos < size:
+                length = min(chunk_size, size - pos)
+                pos += length
+                if split and split[-1][0] == length:
+                    split[-1][1] += 1
+                else:
+                    split.append([length, 1])
+            parts = [
+                (length, n, self.cost_model.cost(kind, length))
+                for length, n in split
+            ]
+            self._epoch_costs[key] = parts
+        return parts
+
+    def plan_rounds(self, offered: Optional[Dict[str, float]] = None) -> RoundPlan:
+        """Analytic DDRR round schedule for the current tenant set.
+
+        With stationary arrivals the dispatcher is periodic: every
+        round hands tenant *i* ``quanta[i]`` VOPs of deficit and serves
+        round-robin among those with queued work, so per-round service
+        is quantum-proportional among backlogged tenants and the whole
+        cycle distributes ``round_vops`` per ``round_seconds``.  When
+        ``offered`` (tenant -> offered VOP/s) is given, the plan also
+        water-fills the device's VOP capacity: tenants offering less
+        than their share keep their offered rate, the freed capacity is
+        redistributed in quantum proportion among the rest — the
+        steady-state service rates a stable-backlog epoch converges to.
+        """
+        quanta = self._quanta
+        if quanta is None:
+            quanta = self._refresh_quanta()
+        tenants = tuple(s.tenant_id for s in self._order)
+        quanta_t = tuple(quanta)
+        capacity = self.cost_model.max_iop
+        if offered is None:
+            rates = tuple(
+                capacity * q / self._round_vops if self._round_vops else 0.0
+                for q in quanta_t
+            )
+        else:
+            demand = [max(0.0, float(offered.get(t, 0.0))) for t in tenants]
+            rates_l = [0.0] * len(tenants)
+            remaining = capacity
+            unfilled = list(range(len(tenants)))
+            # Water-fill: repeatedly grant quantum-proportional shares,
+            # capping tenants at their offered rate and re-spreading the
+            # spare capacity (DDRR's work-conserving behaviour).
+            while unfilled and remaining > 1e-12:
+                weight = sum(quanta_t[i] for i in unfilled)
+                if weight <= 0.0:
+                    break
+                capped = [
+                    i for i in unfilled
+                    if demand[i] - rates_l[i] <= remaining * quanta_t[i] / weight
+                ]
+                if capped:
+                    for i in capped:
+                        grant = demand[i] - rates_l[i]
+                        rates_l[i] = demand[i]
+                        remaining -= grant
+                        unfilled.remove(i)
+                else:
+                    for i in unfilled:
+                        rates_l[i] += remaining * quanta_t[i] / weight
+                    remaining = 0.0
+            rates = tuple(rates_l)
+        return RoundPlan(
+            tenants=tenants,
+            quanta=quanta_t,
+            round_vops=self._round_vops,
+            round_seconds=self.config.round_seconds,
+            burst_rounds=self.config.burst_rounds,
+            chunk_size=self.config.chunk_size,
+            service_rates=rates,
+        )
 
     # -- scheduling core -----------------------------------------------------------
 

@@ -102,6 +102,12 @@ class VopAudit:
         # -- cumulative device-side stream
         self.device_vops = 0.0
         self.device_ops = 0
+        # -- epoch fast-forward leg (subset of the streams above):
+        # bulk charges absorbed via note_epoch, kept separately so a
+        # hybrid trial can report how much of its reconciled volume
+        # went through the analytic engines rather than dispatch
+        self.epoch_vops = 0.0
+        self.epoch_ops = 0
         #: successful IO per (tenant, request, internal) — the waterfall
         self.ledger: Dict[Tuple[str, RequestClass, Optional[InternalOp]], LedgerEntry] = {}
         self.windows: List[AuditWindow] = []
@@ -175,6 +181,8 @@ class VopAudit:
         self.dispatched_ops += ops
         self.serviced += vops
         self.completed_ops += ops
+        self.epoch_vops += vops
+        self.epoch_ops += ops
         repriced = self.cost_model.cost(kind, size) * ops
         self.recomputed += repriced
         self.device_vops += repriced
@@ -306,6 +314,9 @@ class VopAudit:
             "device_vops": self.device_vops,
             "chunks": self.completed_ops,
             "device_ops": self.device_ops,
+            "epoch_vops": self.epoch_vops,
+            "epoch_ops": self.epoch_ops,
+            "epoch_share": self.epoch_vops / self.charged if self.charged else 0.0,
             "reconciliation": reconciliation,
             "flags": flags + window_flags,
             "ok": not (flags + window_flags),

@@ -16,7 +16,7 @@ from .core import (
     Simulator,
     Timeout,
 )
-from .fluid import SteadyStateMonitor
+from .fluid import SteadyStateMonitor, reason_stem
 from .resources import Store
 from .sync import Condition, Mutex, Semaphore
 
@@ -33,6 +33,7 @@ __all__ = [
     "SimulationError",
     "Simulator",
     "SteadyStateMonitor",
+    "reason_stem",
     "Store",
     "Timeout",
 ]

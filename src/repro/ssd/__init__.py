@@ -1,6 +1,6 @@
 """Simulated SSD substrate: device model, FTL, profiles, filesystem."""
 
-from .device import SsdDevice
+from .device import FluidPipeline, SsdDevice
 from .filesystem import IoBackend, OutOfSpace, RawBackend, SimFile, SimFilesystem
 from .ftl import Ftl, GcMove, WritePlan
 from .ftl_policy import (
@@ -27,6 +27,7 @@ from .surrogate import SurrogateDevice, SurrogateModel, fit_surrogate
 __all__ = [
     "CostBenefitGcPolicy",
     "FTL_POLICIES",
+    "FluidPipeline",
     "Ftl",
     "FtlPolicy",
     "GcMove",

@@ -61,12 +61,55 @@ from .ftl import Ftl
 from .profiles import SsdProfile
 from .stats import SsdStats
 
-__all__ = ["SsdDevice"]
+__all__ = ["SsdDevice", "FluidPipeline"]
 
 
 def _succeed_event(event: Event, _result) -> None:
     """Completion sink adapter: trigger the fast-path op's Event."""
     event.succeed()
+
+
+class FluidPipeline:
+    """Virtual controller/channel reservation state for one fluid epoch.
+
+    A snapshot of the device's next-free-time accumulators that the
+    fluid fast-forward engine (:mod:`repro.workload.epoch`) advances
+    privately: chunk service plans produced by
+    :meth:`SsdDevice.epoch_read`/:meth:`~SsdDevice.epoch_write` are
+    reserved here at their *virtual dispatch* times, reproducing the
+    FIFO queue-wait + service latency the real reservation timeline
+    would have charged — without touching the live device state, so an
+    abandoned epoch leaves nothing to unwind.
+    """
+
+    __slots__ = ("ctrl_free", "chan_free")
+
+    def __init__(self, ctrl_free: float, chan_free):
+        self.ctrl_free = ctrl_free
+        self.chan_free = list(chan_free)
+
+    def reserve(self, at: float, ctrl_service: float, services) -> float:
+        """Reserve one chunk dispatched at ``at``; returns its finish time.
+
+        Same shape as the device's ``_reserve_controller`` followed by
+        ``_reserve_channel`` per (channel, service) pair: the chunk
+        clears the controller FIFO first, then occupies its channels no
+        earlier than that.
+        """
+        start = at if at > self.ctrl_free else self.ctrl_free
+        ready = start + ctrl_service
+        self.ctrl_free = ready
+        finish = ready
+        chan_free = self.chan_free
+        for chan, service in services:
+            s = chan_free[chan]
+            if s < ready:
+                s = ready
+            f = s + service
+            chan_free[chan] = f
+            if f > finish:
+                finish = f
+        return finish
 
 
 class SsdDevice:
@@ -190,9 +233,24 @@ class SsdDevice:
     # timeline, and no completion action.  Valid only while the device
     # is idle (nothing in flight, no GC), where an op's latency equals
     # its own service time because every stage queue is empty.
+    #
+    # Fluid (stable-backlog) epochs call the same two hooks with a
+    # ``pipeline`` (see :meth:`fluid_pipeline`): the stats counters and
+    # FTL page-map / aging effects are booked identically, but instead
+    # of an idle latency the hook returns the chunk's *service plan* —
+    # ``(ctrl_service, [(channel, service), ...])`` — which the fluid
+    # engine reserves against the virtual pipeline at the chunk's DDRR
+    # dispatch time.  Count and byte effects are therefore exact in
+    # both regimes; only the latency model differs (idle vs queued).
 
-    def epoch_read(self, offset: int, size: int) -> float:
-        """Account one quiet-epoch read; returns its idle-device latency."""
+    def epoch_read(self, offset: int, size: int, pipeline=None):
+        """Account one epoch read.
+
+        Without ``pipeline``: quiet-epoch form, returns the idle-device
+        latency.  With ``pipeline``: fluid-epoch form, returns the
+        ``(ctrl_service, services)`` plan for
+        :meth:`FluidPipeline.reserve` (stats booked here either way).
+        """
         profile = self.profile
         stats = self.stats
         latency = profile.ctrl_overhead_read + size * profile.ctrl_byte_cost
@@ -205,8 +263,17 @@ class SsdDevice:
             # Single-page read: one channel, transfer = requested bytes.
             service = profile.read_access + size * byte_cost
             stats.channel_busy += service
+            if pipeline is not None:
+                return latency, ((self.ftl.read_channel(offset), service),)
             return latency + service
         access = profile.read_access
+        if pipeline is not None:
+            services = []
+            for chan, _pages, nbytes in self.ftl.read_channels(offset, size):
+                service = access + nbytes * byte_cost
+                stats.channel_busy += service
+                services.append((chan, service))
+            return latency, services
         longest = 0.0
         for _chan, _pages, nbytes in self.ftl.read_channels(offset, size):
             service = access + nbytes * byte_cost
@@ -215,13 +282,16 @@ class SsdDevice:
                 longest = service
         return latency + longest
 
-    def epoch_write(self, offset: int, size: int) -> float:
-        """Account one quiet-epoch write; returns its idle-device latency.
+    def epoch_write(self, offset: int, size: int, pipeline=None):
+        """Account one epoch write.
 
         Applies the write to the FTL page map exactly as the event-driven
         path would, so GC-onset timing stays faithful across an epoch —
         the runner checks ``ftl.gc_needed`` after each analytic write and
         falls back to event-by-event mode when the watermark crosses.
+        Returns the idle-device latency, or (with ``pipeline``) the
+        chunk's ``(ctrl_service, services)`` plan — see
+        :meth:`epoch_read`.
         """
         profile = self.profile
         stats = self.stats
@@ -229,6 +299,15 @@ class SsdDevice:
         stats.controller_busy += latency
         prog = profile.prog_latency
         page_cost = profile.page_size * profile.write_byte_cost
+        if pipeline is not None:
+            services = []
+            for chan, pages in self.ftl.host_write(offset, size).programs:
+                service = prog + pages * page_cost
+                stats.channel_busy += service
+                services.append((chan, service))
+            stats.writes += 1
+            stats.write_bytes += size
+            return latency, services
         longest = 0.0
         for _chan, pages in self.ftl.host_write(offset, size).programs:
             service = prog + pages * page_cost
@@ -238,6 +317,17 @@ class SsdDevice:
         stats.writes += 1
         stats.write_bytes += size
         return latency + longest
+
+    def fluid_pipeline(self) -> FluidPipeline:
+        """Virtual reservation state seeded from the live accumulators.
+
+        The fluid engine advances this copy at virtual dispatch times;
+        the live ``_ctrl_free_at``/``_chan_free_at`` stay untouched, so
+        post-epoch event-driven IO sees exactly the stale-but-harmless
+        accumulator values a quiet fast-forward would have left behind
+        (``max(now, free_at)`` absorbs them).
+        """
+        return FluidPipeline(self._ctrl_free_at, self._chan_free_at)
 
     def maybe_collect(self) -> None:
         """Start the background GC loop if the watermarks call for it.

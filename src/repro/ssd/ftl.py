@@ -168,6 +168,32 @@ class Ftl:
         spare = len(self.free_blocks) - self._gc_low_blocks
         return max(0, spare) * self.profile.pages_per_block
 
+    def pages_until_gc(self) -> int:
+        """Tighter projection of host pages writable before ``gc_needed``.
+
+        Refines :attr:`gc_spare_pages` with the fill headroom left in
+        the currently open host append blocks: those pages consume no
+        free block, so they come on top of the spare-block budget.  GC's
+        own active blocks are excluded (their fill is copy traffic, not
+        host writes).  Still an upper bound — write striping can retire
+        active blocks unevenly across channels — so fast-forwarding
+        callers must re-check ``gc_needed`` after every analytic write;
+        the point of the refinement is fewer prematurely ended epochs,
+        not a guarantee.
+        """
+        per_block = self.profile.pages_per_block
+        spare = len(self.free_blocks) - self._gc_low_blocks
+        if spare < 0:
+            return 0
+        open_pages = 0
+        for stream in range(len(self._host_active)):
+            active = self._host_active[stream]
+            fill = self._host_fill[stream]
+            for chan in range(self.profile.channels):
+                if active[chan] is not None:
+                    open_pages += per_block - fill[chan]
+        return spare * per_block + open_pages
+
     # -- address helpers -----------------------------------------------------
 
     def _page_range(self, offset: int, size: int) -> range:
@@ -184,6 +210,20 @@ class Ftl:
                 f"{self.profile.logical_capacity}"
             )
         return range(first, last + 1)
+
+    def read_channel(self, offset: int) -> int:
+        """Channel serving the single page at ``offset``.
+
+        Fast path for the epoch engines' dominant case (page-sized
+        reads): one map lookup instead of :meth:`read_channels`'s
+        per-channel accounting.  The caller guarantees the offset is
+        within logical capacity.
+        """
+        p = offset // self.profile.page_size
+        block = self.page_to_block[p]
+        if block == UNMAPPED:
+            return p % self.profile.channels
+        return int(self.block_channel[block])
 
     def read_channels(self, offset: int, size: int) -> List[Tuple[int, int, int]]:
         """Map a host read to per-channel work.
